@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the core data structures (simulator performance).
+
+Not a paper figure: these time the Python substrate itself — data-plane
+packet processing, sketch updates, allocator churn, hash-table ops — so
+regressions in the simulator's own performance are caught.
+"""
+
+from repro.core.dataplane import NetCacheDataplane
+from repro.core.memory import SwitchMemoryManager
+from repro.kvstore.hashtable import HashTable
+from repro.net.packet import make_get
+from repro.net.routing import RoutingTable
+from repro.sketch.countmin import CountMinSketch
+
+KEY = b"0123456789abcdef"
+
+
+def _dataplane():
+    routing = RoutingTable(default_port=0)
+    routing.add_route(1, 1)
+    routing.add_route(2, 2)
+    dp = NetCacheDataplane(routing, num_pipes=1, ports_per_pipe=8,
+                           entries=1024, value_slots=1024)
+    dp.install(KEY, b"v" * 128, 1)
+    return dp
+
+
+def test_dataplane_cache_hit(benchmark):
+    dp = _dataplane()
+
+    def hit():
+        pkt = make_get(2, 1, KEY)
+        dp.process(pkt, 2)
+        return pkt
+
+    pkt = benchmark(hit)
+    assert pkt.served_by_cache
+
+
+def test_dataplane_cache_miss(benchmark):
+    dp = _dataplane()
+    cold = b"fedcba9876543210"
+
+    def miss():
+        return dp.process(make_get(2, 1, cold), 2)
+
+    result = benchmark(miss)
+    assert result.egress_port == 1
+
+
+def test_countmin_update(benchmark):
+    sketch = CountMinSketch(width=64 * 1024, depth=4)
+    benchmark(sketch.update, KEY)
+    assert sketch.estimate(KEY) > 0
+
+
+def test_allocator_insert_evict(benchmark):
+    mm = SwitchMemoryManager(num_arrays=8, slots_per_array=4096)
+
+    def cycle():
+        mm.insert(KEY, 128)
+        mm.evict(KEY)
+
+    benchmark(cycle)
+    assert len(mm) == 0
+
+
+def test_hashtable_put_get(benchmark):
+    table = HashTable(initial_capacity=1024)
+    for i in range(512):
+        table.put(f"warm{i}".encode(), b"v")
+
+    def cycle():
+        table.put(KEY, b"value")
+        return table.get(KEY)
+
+    assert benchmark(cycle) == b"value"

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Scaling beyond one rack: leaf vs leaf+spine caching (§5, Fig 10f).
+
+Sweeps 1..32 racks (128 servers each) under Zipf 0.99 and prints the
+throughput of the three designs the paper simulates, with a bar chart.
+
+Run:  python examples/multi_rack_scaling.py
+"""
+
+from repro.sim.scaling import ScalingConfig, sweep
+
+
+def main():
+    config = ScalingConfig()
+    points = sweep((1, 2, 4, 8, 16, 32), config)
+    series = {}
+    for p in points:
+        series.setdefault(p.design, []).append((p.num_racks, p.throughput))
+
+    peak = max(p.throughput for p in points)
+    print("Scaling a NetCache deployment to 32 racks (4096 servers), "
+          "Zipf 0.99\n")
+    print(f"{'racks':>6} {'servers':>8}   "
+          f"{'NoCache':>10} {'Leaf-Cache':>11} {'Leaf-Spine':>11}")
+    for i, (racks, _) in enumerate(series["NoCache"]):
+        row = [series[d][i][1] for d in
+               ("NoCache", "Leaf-Cache", "Leaf-Spine-Cache")]
+        print(f"{racks:>6} {racks * 128:>8}   "
+              + " ".join(f"{v / 1e9:>10.2f}" for v in row) + "  BQPS")
+
+    print("\nthroughput relative to the best design at 32 racks:")
+    for design in ("NoCache", "Leaf-Cache", "Leaf-Spine-Cache"):
+        value = series[design][-1][1]
+        bar = "#" * max(1, int(50 * value / peak))
+        print(f"  {design:<17} |{bar}")
+
+    print("\nNoCache is flat (hottest server binds); Leaf-Cache balances "
+          "within racks but the\nhottest rack's uplinks bind; spine caches "
+          "absorb inter-rack skew and scale linearly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: build a NetCache rack and use it like a key-value store.
+
+Builds a simulated 8-server storage rack with a NetCache ToR switch, loads
+a small data set, warms the cache with the hottest items, and issues
+Get/Put/Delete through the client library — showing cache hits served by
+the switch, write-through invalidation, and the data-plane value update.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import default_workload, make_cluster
+
+
+def main():
+    # A rack: 8 storage servers behind one NetCache ToR switch.
+    cluster = make_cluster(
+        num_servers=8,
+        cache_items=64,          # switch cache capacity (items)
+        lookup_entries=1024,     # scaled-down switch geometry
+        value_slots=1024,
+    )
+
+    # A Zipf-0.99 workload over 1 000 keys; load every item into its
+    # hash-partitioned owner server.
+    workload = default_workload(num_keys=1_000, skew=0.99)
+    cluster.load_workload_data(workload)
+
+    # Warm the switch cache with the 64 hottest items (the controller
+    # fetches each value from the owning server, §4.3).
+    installed = cluster.warm_cache(workload)
+    print(f"cache warmed with {installed} items")
+
+    client = cluster.sync_client()
+    raw = cluster.clients[0]
+
+    # --- reads ------------------------------------------------------------
+    hot = workload.hottest_keys(1)[0]
+    cold = workload.keyspace.key(workload.popularity.item_at(900))
+
+    value = client.get(hot)
+    print(f"GET hot  key -> {value[:16]!r}...  "
+          f"(served by switch: {raw.cache_hits == 1})")
+
+    value = client.get(cold)
+    print(f"GET cold key -> {value[:16]!r}...  "
+          f"(served by server: {raw.cache_hits == 1})")
+
+    # --- write-through coherence -------------------------------------------
+    client.put(hot, b"updated-by-quickstart")
+    print("PUT hot key (switch invalidated the entry, server updated it "
+          "and pushed the new value back)")
+    value = client.get(hot)
+    print(f"GET hot  key -> {value!r}")
+
+    client.delete(hot)
+    print(f"DELETE hot key -> GET now returns {client.get(hot)!r}")
+
+    # --- what the switch saw -----------------------------------------------
+    dataplane = cluster.switch.dataplane
+    print(f"\nswitch data plane: {dataplane.cache_hits} hits, "
+          f"{dataplane.cache_misses} misses, "
+          f"{dataplane.invalidations} invalidations, "
+          f"{dataplane.updates_received} data-plane value updates")
+    print(f"client latencies (us): "
+          f"{[round(l * 1e6, 1) for l in raw.latencies[:6]]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""NetCache reproduction: balancing key-value stores with in-network caching.
+
+A full Python implementation of the NetCache architecture (Jin et al.,
+SOSP 2017): a functional model of the programmable-switch data plane that
+caches hot key-value items on the query path, the cache-update controller,
+the storage-server coherence shim, a client library, and the simulators that
+regenerate the paper's evaluation.
+
+Quick start::
+
+    from repro import make_cluster, default_workload
+
+    cluster = make_cluster(num_servers=8, cache_items=64,
+                           lookup_entries=1024, value_slots=1024)
+    workload = default_workload(num_keys=1_000)
+    cluster.load_workload_data(workload)
+    cluster.warm_cache(workload, 64)
+    client = cluster.sync_client()
+    value = client.get(workload.keyspace.key(0))
+"""
+
+from repro.client import (
+    AimdRateController,
+    ChurnSchedule,
+    KeySpace,
+    NetCacheClient,
+    PopularityMap,
+    SyncClient,
+    Workload,
+    WorkloadClient,
+    WorkloadSpec,
+    ZipfDistribution,
+    ZipfGenerator,
+)
+from repro.core import (
+    CacheController,
+    NetCacheDataplane,
+    NetCacheSwitch,
+    PlainSwitch,
+    SwitchMemoryManager,
+    paper_prototype_report,
+)
+from repro.errors import NetCacheError
+from repro.kvstore import HashPartitioner, HashTable, KVStore, StorageServer
+from repro.net import Op, Packet, Simulator
+from repro.sim import (
+    Cluster,
+    ClusterConfig,
+    default_workload,
+    make_cluster,
+    run_dynamics,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AimdRateController",
+    "CacheController",
+    "ChurnSchedule",
+    "Cluster",
+    "ClusterConfig",
+    "HashPartitioner",
+    "HashTable",
+    "KVStore",
+    "KeySpace",
+    "NetCacheClient",
+    "NetCacheDataplane",
+    "NetCacheError",
+    "NetCacheSwitch",
+    "Op",
+    "Packet",
+    "PlainSwitch",
+    "PopularityMap",
+    "Simulator",
+    "StorageServer",
+    "SwitchMemoryManager",
+    "SyncClient",
+    "Workload",
+    "WorkloadClient",
+    "WorkloadSpec",
+    "ZipfDistribution",
+    "ZipfGenerator",
+    "default_workload",
+    "make_cluster",
+    "paper_prototype_report",
+    "run_dynamics",
+    "simulate",
+]

@@ -1,0 +1,166 @@
+"""Runtime coherence monitor.
+
+NetCache's correctness claim (§4.3) is that the switch never serves a stale
+value: a write invalidates the cached copy before reaching the server, and
+the copy only revalidates with the new value.  This monitor checks that
+claim *from the outside*: it observes packet deliveries on a simulator and
+verifies every read reply against the history of committed writes —
+flagging any reply that returns a value older than what had already been
+committed when the read was issued.
+
+Allowed values for a read issued at t_req and answered at t_rep:
+
+* the newest value committed at or before t_req (the linearization floor);
+* any value committed in (t_req, t_rep] (the read may linearize anywhere
+  in flight);
+* any write in flight (issued, not yet acknowledged) during that window;
+* for keys never written during the run, anything (the preload is unknown
+  to the monitor).
+
+Violations are collected, not raised, so tests can assert emptiness and
+debugging sessions can inspect them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.protocol import Op
+from repro.net.simulator import Simulator
+
+#: sentinel distinguishing "key deleted" from "no value".
+_DELETED = object()
+
+
+@dataclasses.dataclass
+class Violation:
+    """One observed staleness violation."""
+
+    key: bytes
+    seq: int
+    time: float
+    got: Optional[bytes]
+    allowed: List
+    served_by_cache: bool
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (f"stale read of {self.key!r} (seq {self.seq}) at "
+                f"{self.time * 1e6:.1f}us: got {self.got!r}")
+
+
+class _KeyHistory:
+    __slots__ = ("commits", "in_flight", "written")
+
+    def __init__(self):
+        #: (commit_time, value-or-_DELETED), ascending by time.
+        self.commits: List[Tuple[float, object]] = []
+        #: client seq -> value of an unacknowledged write.
+        self.in_flight: Dict[Tuple[int, int], object] = {}
+        self.written = False
+
+    def committed_at(self, t: float):
+        """Newest committed value at time *t* (None if none yet)."""
+        latest = None
+        for commit_time, value in self.commits:
+            if commit_time <= t:
+                latest = (commit_time, value)
+            else:
+                break
+        return latest
+
+
+class CoherenceMonitor:
+    """Attach to a simulator; inspect ``violations`` afterwards."""
+
+    def __init__(self, sim: Simulator):
+        self._histories: Dict[bytes, _KeyHistory] = {}
+        self._reads: Dict[Tuple[int, int], float] = {}
+        self.violations: List[Violation] = []
+        self.reads_checked = 0
+        self.writes_seen = 0
+        sim.delivery_hooks.append(self._on_delivery)
+        self._sim = sim
+
+    def detach(self) -> None:
+        if self._on_delivery in self._sim.delivery_hooks:
+            self._sim.delivery_hooks.remove(self._on_delivery)
+
+    def _history(self, key: bytes) -> _KeyHistory:
+        hist = self._histories.get(key)
+        if hist is None:
+            hist = self._histories[key] = _KeyHistory()
+        return hist
+
+    # -- observation -----------------------------------------------------------
+
+    def _on_delivery(self, time: float, src: int, dst: int,
+                     pkt: Packet) -> None:
+        if pkt.op == Op.GET:
+            # First hop of a read: remember when it entered the network.
+            self._reads.setdefault((pkt.src, pkt.seq), time)
+        elif pkt.op in (Op.PUT, Op.PUT_CACHED):
+            tag = (pkt.src, pkt.seq)
+            hist = self._history(pkt.key)
+            if tag not in hist.in_flight:
+                hist.in_flight[tag] = pkt.value
+                hist.written = True
+                self.writes_seen += 1
+        elif pkt.op in (Op.DELETE, Op.DELETE_CACHED):
+            tag = (pkt.src, pkt.seq)
+            hist = self._history(pkt.key)
+            if tag not in hist.in_flight:
+                hist.in_flight[tag] = _DELETED
+                hist.written = True
+                self.writes_seen += 1
+        elif pkt.op in (Op.PUT_REPLY, Op.DELETE_REPLY):
+            # Replies are delivered hop by hop; the first hop (closest to
+            # the server) is the best commit-time estimate, and popping the
+            # in-flight entry makes later hops no-ops.
+            tag = (pkt.dst, pkt.seq)
+            hist = self._history(pkt.key)
+            value = hist.in_flight.pop(tag, None)
+            if value is not None:
+                hist.commits.append((time, value))
+        elif pkt.op == Op.GET_REPLY:
+            self._check_read(time, pkt)
+
+    # -- the invariant -----------------------------------------------------------
+
+    def _check_read(self, t_rep: float, pkt: Packet) -> None:
+        hist = self._histories.get(pkt.key)
+        if hist is None or not hist.written:
+            return  # never written during the run: preload values are fine
+        t_req = self._reads.pop((pkt.dst, pkt.seq), None)
+        if t_req is None:
+            return  # already checked on an earlier hop of this reply
+        self.reads_checked += 1
+
+        allowed: List = []
+        floor = hist.committed_at(t_req)
+        if floor is None:
+            # No commit before the read was issued: the preload value (any
+            # value) is still linearizable.
+            return
+        allowed.append(floor[1])
+        for commit_time, value in hist.commits:
+            if t_req < commit_time <= t_rep:
+                allowed.append(value)
+        allowed.extend(hist.in_flight.values())
+
+        got = _DELETED if pkt.value is None else pkt.value
+        # A None value is also fine if an in-flight/windowed delete exists;
+        # symmetric for values.
+        if got in allowed or (got is _DELETED and _DELETED in allowed):
+            return
+        self.violations.append(Violation(
+            key=pkt.key, seq=pkt.seq, time=t_rep,
+            got=None if got is _DELETED else got,
+            allowed=[v for v in allowed if v is not _DELETED],
+            served_by_cache=pkt.served_by_cache,
+        ))
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations

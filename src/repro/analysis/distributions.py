@@ -1,0 +1,48 @@
+"""Latency/throughput summary statistics used by the experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (q in [0, 100]) of *samples*."""
+    if len(samples) == 0:
+        raise ConfigurationError("no samples")
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """mean/median/p95/p99 of latency samples (seconds)."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("no samples")
+    return {
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+        "count": float(arr.size),
+    }
+
+
+def fraction_below(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly below *threshold*."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("no samples")
+    return float((arr < threshold).mean())
+
+
+def normalized(series: Sequence[float]) -> np.ndarray:
+    """Scale a non-negative series so its maximum is 1 (plot shaping)."""
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("no samples")
+    peak = arr.max()
+    return arr / peak if peak > 0 else arr

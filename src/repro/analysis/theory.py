@@ -1,0 +1,75 @@
+"""Load-balancing theory (§1, §2).
+
+NetCache rests on the "small cache, big effect" theorem (Fan et al. 2011):
+caching the O(N log N) hottest items bounds every node's load for a
+hash-partitioned cluster of N nodes, *regardless* of the query distribution.
+This module provides the bound, plus the imbalance metrics the evaluation
+reports (per-server load, max/mean ratios) and the caching-layer sizing
+relation M ~= N * T / T' from §2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def small_cache_bound(num_nodes: int, c: float = 1.0) -> int:
+    """Cache size sufficient for load balance: ``ceil(c * N log N)``.
+
+    *c* is the constant the theorem hides; empirically (Fig 10e) about one
+    thousand items suffice for 128 partitions, i.e. c ~= 1.1 with natural
+    log.
+    """
+    if num_nodes <= 0:
+        raise ConfigurationError("num_nodes must be positive")
+    if num_nodes == 1:
+        return 1
+    return math.ceil(c * num_nodes * math.log(num_nodes))
+
+
+def caching_nodes_needed(num_storage_nodes: int, storage_rate: float,
+                         cache_rate: float) -> float:
+    """§2's sizing relation: M ~= N * T / T'.
+
+    With an in-memory storage layer (T' ~= T) this approaches N, which is
+    the argument for a switch cache (T' >> T -> M < 1, a single box).
+    """
+    if min(num_storage_nodes, 1) <= 0 or storage_rate <= 0 or cache_rate <= 0:
+        raise ConfigurationError("arguments must be positive")
+    return num_storage_nodes * storage_rate / cache_rate
+
+
+def load_imbalance(loads: Sequence[float]) -> float:
+    """max/mean ratio of per-node loads (1.0 = perfectly balanced)."""
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("loads must be non-empty")
+    mean = arr.mean()
+    if mean == 0:
+        return 1.0
+    return float(arr.max() / mean)
+
+
+def utilization_at_saturation(loads: Sequence[float]) -> float:
+    """Aggregate utilization when the most-loaded node saturates.
+
+    If per-node offered load fractions are f_i, scaling traffic until
+    max(f_i) hits node capacity leaves node i at f_i / max(f), so overall
+    utilization is mean(f) / max(f) — the throughput NoCache loses to skew.
+    """
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0 or arr.max() == 0:
+        raise ConfigurationError("loads must be non-empty and non-zero")
+    return float(arr.mean() / arr.max())
+
+
+def zipf_head_mass(num_keys: int, skew: float, head: int) -> float:
+    """Fraction of queries hitting the *head* hottest keys under Zipf."""
+    from repro.client.zipf import ZipfDistribution
+
+    return ZipfDistribution(num_keys, skew).head_mass(head)

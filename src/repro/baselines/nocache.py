@@ -1,0 +1,27 @@
+"""NoCache baseline (§7.3).
+
+The paper's primary comparison point: the same rack with the switch cache
+disabled — a plain L2/L3 ToR in front of hash-partitioned servers.  The
+cluster builder already supports ``enable_cache=False``; this module wraps it
+with the baseline's name and adds the closed-form NoCache throughput used by
+the rate simulator sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.cluster import Cluster, ClusterConfig
+from repro.sim.ratesim import RateSimConfig, RateSimResult, simulate
+
+
+def make_nocache_cluster(**overrides) -> Cluster:
+    """A rack identical to NetCache's but with a plain ToR switch."""
+    overrides["enable_cache"] = False
+    return Cluster(ClusterConfig(**overrides))
+
+
+def nocache_equilibrium(read_probs: np.ndarray, config: RateSimConfig,
+                        write_probs=None) -> RateSimResult:
+    """Saturated NoCache throughput (empty cache mask)."""
+    return simulate(read_probs, None, config, write_probs=write_probs)

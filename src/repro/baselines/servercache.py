@@ -1,0 +1,76 @@
+"""Server-based caching-layer baseline (Figure 1's middle column).
+
+SwitchKV-style designs put a DRAM cache *node* in front of the storage
+layer.  That works when storage is flash (cache is orders of magnitude
+faster) and stops working when storage is also in memory: the cache node's
+throughput T' is comparable to a storage node's T, so absorbing the skewed
+head of the distribution saturates the cache nodes themselves (§2).
+
+This baseline makes that argument quantitative: an equilibrium model of a
+rack fronted by ``num_cache_nodes`` in-memory cache nodes that absorb all
+queries to the hottest items, each limited to ``cache_node_rate``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.ratesim import RateSimConfig, fast_partition_vector, top_k_mask
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerCacheConfig:
+    """An in-memory caching layer of M server-class nodes."""
+
+    num_cache_nodes: int = 1
+    cache_node_rate: float = 10e6   # same class of box as a storage server
+    cache_items: int = 10_000
+
+    def __post_init__(self):
+        if self.num_cache_nodes <= 0 or self.cache_node_rate <= 0:
+            raise ConfigurationError("cache layer must have capacity")
+
+
+@dataclasses.dataclass
+class ServerCacheResult:
+    throughput: float
+    cache_layer_throughput: float
+    storage_throughput: float
+    binding: str  # "cache-layer" or "storage"
+
+
+def simulate_server_cache(read_probs: np.ndarray,
+                          storage: RateSimConfig,
+                          cache: ServerCacheConfig) -> ServerCacheResult:
+    """Saturated throughput with a server-based look-aside cache layer.
+
+    Hot items are replicated on all cache nodes (the layer's aggregate rate
+    is M * T'); the remaining load hash-partitions over storage servers.
+    """
+    mask = top_k_mask(read_probs, cache.cache_items)
+    hit_fraction = float(read_probs[mask].sum())
+    miss = np.where(mask, 0.0, read_probs)
+    part = fast_partition_vector(len(read_probs), storage.num_servers,
+                                 storage.partition_seed)
+    per_server = np.bincount(part, weights=miss,
+                             minlength=storage.num_servers)
+
+    bounds = {}
+    if per_server.max() > 0:
+        bounds["storage"] = storage.server_rate / per_server.max()
+    if hit_fraction > 0:
+        layer_rate = cache.num_cache_nodes * cache.cache_node_rate
+        bounds["cache-layer"] = layer_rate / hit_fraction
+    if not bounds:
+        raise ConfigurationError("no traffic")
+    binding = min(bounds, key=bounds.get)
+    rate = bounds[binding]
+    return ServerCacheResult(
+        throughput=rate,
+        cache_layer_throughput=rate * hit_fraction,
+        storage_throughput=rate * (1 - hit_fraction),
+        binding=binding,
+    )

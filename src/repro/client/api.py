@@ -1,0 +1,228 @@
+"""Client library (§3 "Clients").
+
+Applications use :class:`NetCacheClient` the way they would use a Memcached
+or Redis client: ``get`` / ``put`` / ``delete``.  The library translates API
+calls into NetCache query packets, addresses the storage server that owns the
+key's partition (the client needs no knowledge of the cache, §4.1), and
+matches replies to requests by sequence number.
+
+Two higher layers are provided:
+
+* :class:`SyncClient` — a blocking facade that advances the simulator until
+  the reply arrives (used by the examples and integration tests);
+* :class:`WorkloadClient` — an open-loop load generator with Poisson or
+  deterministic arrivals, loss accounting, and latency recording (used by
+  the throughput/latency/dynamics experiments).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.client.ratecontrol import AimdRateController
+from repro.client.workload import Workload
+from repro.constants import CLIENT_OVERHEAD
+from repro.errors import ConfigurationError, SimulationError
+from repro.kvstore.partition import HashPartitioner
+from repro.net.packet import Packet, make_delete, make_get, make_put
+from repro.net.protocol import Op
+from repro.net.simulator import Node
+
+ReplyCallback = Callable[[Optional[bytes], float], None]
+
+
+class _Outstanding:
+    __slots__ = ("op", "key", "sent_at", "callback")
+
+    def __init__(self, op: Op, key: bytes, sent_at: float,
+                 callback: Optional[ReplyCallback]):
+        self.op = op
+        self.key = key
+        self.sent_at = sent_at
+        self.callback = callback
+
+
+class NetCacheClient(Node):
+    """Asynchronous key-value client attached below/above a NetCache rack."""
+
+    def __init__(self, node_id: int, gateway: int,
+                 partitioner: HashPartitioner):
+        super().__init__(node_id)
+        self.gateway = gateway
+        self.partitioner = partitioner
+        self._seq = itertools.count(1)
+        self._outstanding: Dict[int, _Outstanding] = {}
+        self.sent = 0
+        self.received = 0
+        self.cache_hits = 0
+        self.latencies: List[float] = []
+        #: cap on retained latency samples (reservoir-free truncation).
+        self.max_latency_samples = 1_000_000
+
+    # -- API -------------------------------------------------------------------
+
+    def get(self, key: bytes, callback: Optional[ReplyCallback] = None) -> int:
+        """Issue a Get; returns the sequence number."""
+        seq = next(self._seq)
+        pkt = make_get(self.node_id, self.partitioner.server_for(key), key,
+                       seq=seq)
+        self._send(pkt, callback)
+        return seq
+
+    def put(self, key: bytes, value: bytes,
+            callback: Optional[ReplyCallback] = None) -> int:
+        """Issue a Put; returns the sequence number."""
+        seq = next(self._seq)
+        pkt = make_put(self.node_id, self.partitioner.server_for(key), key,
+                       value, seq=seq)
+        self._send(pkt, callback)
+        return seq
+
+    def delete(self, key: bytes,
+               callback: Optional[ReplyCallback] = None) -> int:
+        """Issue a Delete; returns the sequence number."""
+        seq = next(self._seq)
+        pkt = make_delete(self.node_id, self.partitioner.server_for(key), key,
+                          seq=seq)
+        self._send(pkt, callback)
+        return seq
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _send(self, pkt: Packet, callback: Optional[ReplyCallback]) -> None:
+        pkt.created_at = self.sim.now
+        self._outstanding[pkt.seq] = _Outstanding(pkt.op, pkt.key,
+                                                  self.sim.now, callback)
+        self.sent += 1
+        self.sim.transmit(self.node_id, self.gateway, pkt)
+
+    def handle_packet(self, pkt: Packet) -> None:
+        entry = self._outstanding.pop(pkt.seq, None)
+        if entry is None:
+            return  # duplicate or late reply
+        self.received += 1
+        if pkt.served_by_cache:
+            self.cache_hits += 1
+        latency = (self.sim.now - entry.sent_at) + CLIENT_OVERHEAD
+        if len(self.latencies) < self.max_latency_samples:
+            self.latencies.append(latency)
+        if entry.callback is not None:
+            entry.callback(pkt.value, latency)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def drop_stale(self, older_than: float) -> int:
+        """Forget requests sent before *older_than* (treat as lost)."""
+        stale = [seq for seq, e in self._outstanding.items()
+                 if e.sent_at < older_than]
+        for seq in stale:
+            del self._outstanding[seq]
+        return len(stale)
+
+
+class SyncClient:
+    """Blocking facade over :class:`NetCacheClient` for scripts and tests."""
+
+    def __init__(self, client: NetCacheClient, timeout: float = 1.0):
+        self.client = client
+        self.timeout = timeout
+
+    def _wait(self, seq_box: dict) -> Optional[bytes]:
+        sim = self.client.sim
+        deadline = sim.now + self.timeout
+        while "reply" not in seq_box:
+            if sim.now >= deadline or not sim.events.step():
+                raise SimulationError("request timed out (packet lost?)")
+        return seq_box["reply"]
+
+    def _call(self, issue) -> Tuple[Optional[bytes], float]:
+        box: dict = {}
+
+        def on_reply(value: Optional[bytes], latency: float) -> None:
+            box["reply"] = value
+            box["latency"] = latency
+
+        issue(on_reply)
+        value = self._wait(box)
+        return value, box["latency"]
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Blocking Get; returns the value or None."""
+        value, _ = self._call(lambda cb: self.client.get(key, cb))
+        return value
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Blocking Put."""
+        self._call(lambda cb: self.client.put(key, value, cb))
+
+    def delete(self, key: bytes) -> None:
+        """Blocking Delete."""
+        self._call(lambda cb: self.client.delete(key, cb))
+
+
+class WorkloadClient(NetCacheClient):
+    """Open-loop load generator driving a :class:`Workload`.
+
+    Queries are issued at ``rate`` queries/second with deterministic
+    spacing (the DPDK generator's behaviour); an optional
+    :class:`AimdRateController` retunes the rate every ``control_interval``
+    using loss feedback, reproducing the §7.4 measurement loop.
+    """
+
+    def __init__(self, node_id: int, gateway: int,
+                 partitioner: HashPartitioner, workload: Workload,
+                 rate: float, controller: Optional[AimdRateController] = None,
+                 control_interval: float = 0.1):
+        super().__init__(node_id, gateway, partitioner)
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.workload = workload
+        self.rate = rate
+        self.rate_controller = controller
+        self.control_interval = control_interval
+        self._interval_sent = 0
+        self._interval_received = 0
+        self.running = False
+        #: (time, rate, loss) samples, one per control interval.
+        self.rate_trace: List[Tuple[float, float, float]] = []
+
+    def start(self) -> None:
+        self.running = True
+        self.sim.schedule(0.0, self._send_tick)
+        if self.rate_controller is not None:
+            self.sim.schedule(self.control_interval, self._control_tick)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _send_tick(self) -> None:
+        if not self.running:
+            return
+        op, key = self.workload.next_query()
+        if op == Op.GET:
+            self.get(key)
+        elif op == Op.PUT:
+            self.put(key, self.workload.value_for(key))
+        else:
+            self.delete(key)
+        self._interval_sent += 1
+        self.sim.schedule(1.0 / self.rate, self._send_tick)
+
+    def handle_packet(self, pkt: Packet) -> None:
+        self._interval_received += 1
+        super().handle_packet(pkt)
+
+    def _control_tick(self) -> None:
+        if not self.running:
+            return
+        sent, self._interval_sent = self._interval_sent, 0
+        received, self._interval_received = self._interval_received, 0
+        loss = max(0.0, 1.0 - received / sent) if sent else 0.0
+        self.rate = self.rate_controller.observe(sent, received)
+        self.rate_trace.append((self.sim.now, self.rate, loss))
+        # Expired requests would otherwise accumulate forever.
+        self.drop_stale(self.sim.now - 10 * self.control_interval)
+        self.sim.schedule(self.control_interval, self._control_tick)

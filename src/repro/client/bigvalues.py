@@ -1,0 +1,128 @@
+"""Values larger than one pipeline pass (§5 "Restricted key-value
+interface").
+
+The switch serves at most 128 bytes (8 stages x 16 B) per pass.  The paper
+offers two routes for bigger items:
+
+* **recirculation** — the packet loops through the pipe once per 128-byte
+  segment; supported natively by the capacity model
+  (:func:`repro.sim.microbench.snake_throughput` divides the chip rate by
+  the pass count);
+* **client-side chunking** — "one can always divide an item into smaller
+  chunks and retrieve them with multiple packets" (§2).  This module
+  implements that: a big value is stored as a manifest item plus N chunk
+  items under derived keys, each individually cacheable.
+
+Chunk keys are derived by hashing ``key || chunk-index``, which spreads a
+big item's chunks over partitions (and pipeline bins) instead of hammering
+one server.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.constants import MAX_VALUE_SIZE
+from repro.errors import ValueFormatError
+from repro.sketch.hashing import hash_bytes
+
+_MANIFEST = struct.Struct("!4sII")  # magic, total_len, chunk_size
+_MAGIC = b"NCBV"
+
+#: Payload bytes per chunk (whole manifest/chunks stay cacheable).
+CHUNK_PAYLOAD = MAX_VALUE_SIZE
+
+
+class ChunkedValueCodec:
+    """Splits big values into cacheable chunk items."""
+
+    def __init__(self, seed: int = 0xB16):
+        self.seed = seed
+
+    def chunk_key(self, key: bytes, index: int) -> bytes:
+        """Derived 16-byte key of chunk *index* of *key*."""
+        h1 = hash_bytes(key + struct.pack("!I", index), self.seed)
+        h2 = hash_bytes(key + struct.pack("!I", index), self.seed ^ 0xC0DE)
+        return h1.to_bytes(8, "big") + h2.to_bytes(8, "big")
+
+    def num_chunks(self, total_len: int) -> int:
+        if total_len <= 0:
+            raise ValueFormatError("value must be non-empty")
+        return -(-total_len // CHUNK_PAYLOAD)
+
+    def manifest(self, total_len: int) -> bytes:
+        """The value stored under the item's own key."""
+        return _MANIFEST.pack(_MAGIC, total_len, CHUNK_PAYLOAD)
+
+    def parse_manifest(self, blob: bytes) -> Optional[int]:
+        """Total length if *blob* is a chunking manifest, else None."""
+        if len(blob) != _MANIFEST.size:
+            return None
+        magic, total_len, chunk_size = _MANIFEST.unpack(blob)
+        if magic != _MAGIC or chunk_size != CHUNK_PAYLOAD:
+            return None
+        return total_len
+
+    def chunks(self, value: bytes):
+        """Yield (index, payload) pairs."""
+        for i in range(self.num_chunks(len(value))):
+            yield i, value[i * CHUNK_PAYLOAD : (i + 1) * CHUNK_PAYLOAD]
+
+
+class BigValueClient:
+    """Transparent big-value support over a blocking client.
+
+    Values up to :data:`MAX_VALUE_SIZE` use the plain path; larger values
+    are chunked.  ``get`` recognizes manifests and reassembles.
+    """
+
+    def __init__(self, sync_client, codec: Optional[ChunkedValueCodec] = None):
+        self.sync = sync_client
+        self.codec = codec or ChunkedValueCodec()
+        self.chunked_reads = 0
+        self.chunked_writes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        if len(value) <= MAX_VALUE_SIZE and \
+                self.codec.parse_manifest(value) is None:
+            self.sync.put(key, value)
+            return
+        self.chunked_writes += 1
+        # Write chunks before the manifest so a concurrent reader never
+        # sees a manifest pointing at missing chunks.
+        for index, payload in self.codec.chunks(value):
+            self.sync.put(self.codec.chunk_key(key, index), payload)
+        self.sync.put(key, self.codec.manifest(len(value)))
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        blob = self.sync.get(key)
+        if blob is None:
+            return None
+        total_len = self.codec.parse_manifest(blob)
+        if total_len is None:
+            return blob
+        self.chunked_reads += 1
+        parts = []
+        for index in range(self.codec.num_chunks(total_len)):
+            part = self.sync.get(self.codec.chunk_key(key, index))
+            if part is None:
+                raise ValueFormatError(
+                    f"chunk {index} of {key!r} missing (torn big value)"
+                )
+            parts.append(part)
+        value = b"".join(parts)
+        if len(value) != total_len:
+            raise ValueFormatError("reassembled length mismatch")
+        return value
+
+    def delete(self, key: bytes) -> None:
+        blob = self.sync.get(key)
+        if blob is None:
+            return
+        total_len = self.codec.parse_manifest(blob)
+        # Delete the manifest first so readers stop following it.
+        self.sync.delete(key)
+        if total_len is not None:
+            for index in range(self.codec.num_chunks(total_len)):
+                self.sync.delete(self.codec.chunk_key(key, index))

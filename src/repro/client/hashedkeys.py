@@ -1,0 +1,146 @@
+"""Variable-length keys over the fixed 16-byte interface (§5).
+
+The prototype's data plane matches on exactly 16-byte keys.  The paper's
+proposed extension: hash arbitrary keys to fixed-length cache keys, store
+the *original* key together with the value, verify on every fetch, and fall
+back to the storage server when a hash collision produced the wrong item.
+
+This module implements that scheme end to end:
+
+* :class:`HashedKeyCodec` — the mapping and the value envelope
+  (``len(original_key) | original_key | value``);
+* :class:`VariableKeyClient` — a client wrapper whose get/put/delete accept
+  keys of any length; collisions are detected by comparing the embedded
+  original key and resolved with a direct (non-NetCache-port) server query
+  that bypasses the switch cache.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from repro.constants import KEY_SIZE, MAX_VALUE_SIZE, NETCACHE_PORT
+from repro.errors import KeyFormatError, ValueFormatError
+from repro.net.packet import Packet
+from repro.net.protocol import Op
+from repro.sketch.hashing import hash_bytes
+
+_LEN = struct.Struct("!H")
+
+#: L4 port for direct-to-server queries that must bypass the switch cache
+#: (the collision fallback path).
+DIRECT_PORT = NETCACHE_PORT + 1
+
+
+class HashedKeyCodec:
+    """Maps variable-length keys to 16-byte cache keys and packs values."""
+
+    def __init__(self, seed: int = 0x16B):
+        self.seed = seed
+
+    def cache_key(self, key: bytes) -> bytes:
+        """Derive the fixed-length key the switch matches on."""
+        if not key:
+            raise KeyFormatError("empty keys are not allowed")
+        if len(key) == KEY_SIZE:
+            # Prefix 16-byte keys too: the envelope makes all values
+            # self-describing, so the two key classes cannot alias.
+            pass
+        h1 = hash_bytes(key, self.seed)
+        h2 = hash_bytes(key, self.seed ^ 0xFFFF)
+        return h1.to_bytes(8, "big") + h2.to_bytes(8, "big")
+
+    def pack(self, key: bytes, value: bytes) -> bytes:
+        """Envelope stored as the item's value: original key + value."""
+        blob = _LEN.pack(len(key)) + key + value
+        if len(blob) > MAX_VALUE_SIZE:
+            raise ValueFormatError(
+                f"key+value envelope of {len(blob)} bytes exceeds the "
+                f"{MAX_VALUE_SIZE}-byte cacheable value limit"
+            )
+        return blob
+
+    def unpack(self, blob: bytes) -> Tuple[bytes, bytes]:
+        """Return (original_key, value) from an envelope."""
+        if len(blob) < _LEN.size:
+            raise ValueFormatError("envelope too short")
+        (key_len,) = _LEN.unpack_from(blob)
+        if len(blob) < _LEN.size + key_len:
+            raise ValueFormatError("envelope truncated")
+        key = blob[_LEN.size : _LEN.size + key_len]
+        return key, blob[_LEN.size + key_len :]
+
+    def verify(self, key: bytes, blob: bytes) -> Optional[bytes]:
+        """Return the value if the envelope belongs to *key*, else None
+        (a hash collision delivered someone else's item)."""
+        stored_key, value = self.unpack(blob)
+        return value if stored_key == key else None
+
+
+class VariableKeyClient:
+    """Arbitrary-length-key facade over a :class:`~repro.client.api.SyncClient`.
+
+    ``get`` verifies the embedded original key of whatever the cache (or
+    server) returned; on a mismatch it retries on the direct port, which the
+    switch does not treat as NetCache traffic, so the query reaches the
+    owning server and returns the collided item's true value.
+    """
+
+    def __init__(self, sync_client, codec: Optional[HashedKeyCodec] = None):
+        self.sync = sync_client
+        self.codec = codec or HashedKeyCodec()
+        self.collisions = 0
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        cache_key = self.codec.cache_key(key)
+        blob = self.sync.get(cache_key)
+        if blob is None:
+            return None
+        value = self.codec.verify(key, blob)
+        if value is not None:
+            return value
+        # Collision: fetch directly from the server, bypassing the cache.
+        self.collisions += 1
+        blob = self._direct_get(cache_key)
+        if blob is None:
+            return None
+        return self.codec.verify(key, blob)
+
+    def put(self, key: bytes, value: bytes) -> None:
+        cache_key = self.codec.cache_key(key)
+        self.sync.put(cache_key, self.codec.pack(key, value))
+
+    def delete(self, key: bytes) -> None:
+        # Only delete if the stored envelope is actually ours; deleting a
+        # collided neighbour would lose someone else's data.
+        cache_key = self.codec.cache_key(key)
+        blob = self._direct_get(cache_key)
+        if blob is None:
+            return
+        if self.codec.verify(key, blob) is not None:
+            self.sync.delete(cache_key)
+
+    # -- direct path (bypasses the switch cache) -----------------------------
+
+    def _direct_get(self, cache_key: bytes) -> Optional[bytes]:
+        client = self.sync.client
+        seq = next(client._seq)
+        pkt = Packet(
+            src=client.node_id,
+            dst=client.partitioner.server_for(cache_key),
+            src_port=DIRECT_PORT, dst_port=DIRECT_PORT,
+            udp=True, op=Op.GET, seq=seq, key=cache_key,
+        )
+        box: dict = {}
+
+        def on_reply(value, latency):
+            box["reply"] = value
+
+        from repro.client.api import _Outstanding
+
+        client._outstanding[seq] = _Outstanding(Op.GET, cache_key,
+                                                client.sim.now, on_reply)
+        client.sent += 1
+        client.sim.transmit(client.node_id, client.gateway, pkt)
+        return self.sync._wait(box)

@@ -1,0 +1,74 @@
+"""Client-side rate adaptation (§7.4).
+
+The paper's client estimates the saturated system throughput online: "if the
+client detects packet loss is above a high threshold (e.g., 5%), it decreases
+its rates; if the packet loss is less than a low threshold (e.g., 1%), client
+increases its rates".  This is a multiplicative-decrease / additive-increase
+controller over the sending rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class AimdRateController:
+    """AIMD controller over a query-sending rate.
+
+    Parameters
+    ----------
+    initial_rate:
+        Starting rate (queries/second).
+    min_rate / max_rate:
+        Clamp bounds.
+    high_loss / low_loss:
+        Loss thresholds for decrease / increase (paper: 5% and 1%).
+    increase:
+        Additive step as a fraction of the initial rate per adjustment.
+    decrease:
+        Multiplicative back-off factor on high loss.
+    multiplicative_increase:
+        When set (> 1), low-loss intervals also scale the rate by this
+        factor, which tracks fast capacity recoveries (the dynamics
+        experiments use it; pure AIMD probes too slowly to follow a cache
+        refill that completes within a second).
+    """
+
+    def __init__(self, initial_rate: float, min_rate: float = 1.0,
+                 max_rate: float = float("inf"), high_loss: float = 0.05,
+                 low_loss: float = 0.01, increase: float = 0.02,
+                 decrease: float = 0.7,
+                 multiplicative_increase: float = None):
+        if initial_rate <= 0 or min_rate <= 0:
+            raise ConfigurationError("rates must be positive")
+        if not 0 <= low_loss < high_loss < 1:
+            raise ConfigurationError("need 0 <= low_loss < high_loss < 1")
+        if not 0 < decrease < 1:
+            raise ConfigurationError("decrease must be in (0, 1)")
+        if multiplicative_increase is not None and multiplicative_increase <= 1:
+            raise ConfigurationError("multiplicative_increase must exceed 1")
+        self.multiplicative_increase = multiplicative_increase
+        self.rate = initial_rate
+        self.min_rate = min_rate
+        self.max_rate = max_rate
+        self.high_loss = high_loss
+        self.low_loss = low_loss
+        self.increase = increase
+        self.decrease = decrease
+        self._step = max(initial_rate * increase, min_rate)
+        self.adjustments = 0
+
+    def observe(self, sent: int, received: int) -> float:
+        """Feed one interval's send/receive counts; returns the new rate."""
+        self.adjustments += 1
+        if sent <= 0:
+            return self.rate
+        loss = max(0.0, 1.0 - received / sent)
+        if loss > self.high_loss:
+            self.rate = max(self.min_rate, self.rate * self.decrease)
+        elif loss < self.low_loss:
+            new_rate = self.rate + self._step
+            if self.multiplicative_increase is not None:
+                new_rate = max(new_rate, self.rate * self.multiplicative_increase)
+            self.rate = min(self.max_rate, new_rate)
+        return self.rate

@@ -1,0 +1,134 @@
+"""Query trace files: record a workload, replay it bit-for-bit.
+
+Experiments become portable when the exact query stream can be shipped
+alongside results.  The trace format is line-oriented text (one query per
+line), trivially diffable and greppable::
+
+    # netcache-trace v1
+    G 6b30303030303030303030303030303031
+    P 6b30303030303030303030303030303032 76616c7565
+    D 6b30303030303030303030303030303033
+
+``G``/``P``/``D`` are Get/Put/Delete; fields are hex-encoded key and (for
+puts) value.  A :class:`TraceWorkload` exposes a recorded trace through the
+same ``next_query``/``value_for`` interface the load generators consume, so
+a trace can drive a cluster exactly like a synthetic workload.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, PacketFormatError
+from repro.net.protocol import Op
+
+HEADER = "# netcache-trace v1"
+
+_OP_CODES = {Op.GET: "G", Op.PUT: "P", Op.DELETE: "D"}
+_CODE_OPS = {v: k for k, v in _OP_CODES.items()}
+
+
+def write_trace(path: Union[str, Path],
+                queries: Iterable[Tuple[Op, bytes, Optional[bytes]]]) -> int:
+    """Write (op, key, value-or-None) triples; returns queries written."""
+    count = 0
+    with open(path, "w") as fh:
+        fh.write(HEADER + "\n")
+        for op, key, value in queries:
+            code = _OP_CODES.get(op)
+            if code is None:
+                raise ConfigurationError(f"op {op!r} is not traceable")
+            line = f"{code} {key.hex()}"
+            if op == Op.PUT:
+                if value is None:
+                    raise ConfigurationError("PUT requires a value")
+                line += f" {value.hex()}"
+            fh.write(line + "\n")
+            count += 1
+    return count
+
+
+def record(workload, path: Union[str, Path], count: int) -> int:
+    """Record *count* queries drawn from *workload* into a trace file."""
+    def stream():
+        for _ in range(count):
+            op, key = workload.next_query()
+            value = workload.value_for(key) if op == Op.PUT else None
+            yield op, key, value
+
+    return write_trace(path, stream())
+
+
+def read_trace(path: Union[str, Path]
+               ) -> List[Tuple[Op, bytes, Optional[bytes]]]:
+    """Parse a trace file; raises on any malformed line."""
+    out: List[Tuple[Op, bytes, Optional[bytes]]] = []
+    with open(path) as fh:
+        header = fh.readline().rstrip("\n")
+        if header != HEADER:
+            raise PacketFormatError(f"not a netcache trace: {header!r}")
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            op = _CODE_OPS.get(parts[0])
+            if op is None:
+                raise PacketFormatError(f"line {lineno}: bad op {parts[0]!r}")
+            try:
+                key = bytes.fromhex(parts[1])
+            except (IndexError, ValueError) as exc:
+                raise PacketFormatError(f"line {lineno}: bad key") from exc
+            value = None
+            if op == Op.PUT:
+                if len(parts) != 3:
+                    raise PacketFormatError(
+                        f"line {lineno}: PUT needs a value")
+                value = bytes.fromhex(parts[2])
+            elif len(parts) != 2:
+                raise PacketFormatError(f"line {lineno}: trailing fields")
+            out.append((op, key, value))
+    return out
+
+
+class TraceWorkload:
+    """Replays a recorded trace through the workload interface.
+
+    ``loop=True`` restarts from the beginning when exhausted (open-loop
+    generators outlive short traces); otherwise exhaustion raises.
+    """
+
+    def __init__(self, path: Union[str, Path], loop: bool = False):
+        self.queries = read_trace(path)
+        if not self.queries:
+            raise ConfigurationError("empty trace")
+        self.loop = loop
+        self._pos = 0
+        self._pending: Optional[Tuple[bytes, bytes]] = None
+        self._values = {key: value for op, key, value in self.queries
+                        if op == Op.PUT and value is not None}
+
+    def next_query(self) -> Tuple[Op, bytes]:
+        if self._pos >= len(self.queries):
+            if not self.loop:
+                raise StopIteration("trace exhausted")
+            self._pos = 0
+        op, key, value = self.queries[self._pos]
+        self._pos += 1
+        # Remember this occurrence's value so a key PUT twice with
+        # different payloads replays faithfully.
+        self._pending = (key, value) if op == Op.PUT else None
+        return op, key
+
+    def value_for(self, key: bytes) -> bytes:
+        """Value for a PUT during replay (the recorded bytes)."""
+        if self._pending is not None and self._pending[0] == key:
+            return self._pending[1]
+        value = self._values.get(key)
+        if value is None:
+            raise ConfigurationError(f"trace has no value for {key!r}")
+        return value
+
+    def __len__(self) -> int:
+        return len(self.queries)

@@ -1,0 +1,67 @@
+"""YCSB-style workload presets.
+
+The paper cites YCSB (Cooper et al., SOCC 2010) as the source of its
+skewed-workload methodology (§7.1).  These presets map the core YCSB
+workloads onto :class:`~repro.client.workload.WorkloadSpec` so experiments
+can be phrased as "run workload B against this rack":
+
+| preset | mix | distribution |
+|---|---|---|
+| A | 50% read / 50% update | Zipf |
+| B | 95% read / 5% update  | Zipf |
+| C | 100% read             | Zipf |
+| D | 95% read / 5% insert  | latest (approximated by Zipf over recency) |
+| F | 50% read-modify-write | Zipf |
+
+YCSB's default Zipf constant is 0.99.  Workload E (scans) has no
+counterpart in a get/put interface and is intentionally absent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.client.workload import Workload, WorkloadSpec
+from repro.errors import ConfigurationError
+
+#: YCSB's default Zipfian constant.
+YCSB_ZIPF = 0.99
+
+_PRESETS: Dict[str, Dict] = {
+    # write_skew matches read skew: YCSB updates target the same hot keys.
+    "A": dict(read_skew=YCSB_ZIPF, write_skew=YCSB_ZIPF, write_ratio=0.5),
+    "B": dict(read_skew=YCSB_ZIPF, write_skew=YCSB_ZIPF, write_ratio=0.05),
+    "C": dict(read_skew=YCSB_ZIPF, write_skew=0.0, write_ratio=0.0),
+    # D reads the "latest" items; with our popularity map, rank order *is*
+    # recency order, so a Zipf over ranks models it.  Inserts are uniform
+    # over the tail.
+    "D": dict(read_skew=YCSB_ZIPF, write_skew=0.0, write_ratio=0.05),
+    # F's read-modify-write issues one read and one update per logical op:
+    # a 50/50 mix at the query level.
+    "F": dict(read_skew=YCSB_ZIPF, write_skew=YCSB_ZIPF, write_ratio=0.5),
+}
+
+
+def ycsb_spec(preset: str, num_keys: int = 100_000, value_size: int = 128,
+              seed: int = 0) -> WorkloadSpec:
+    """WorkloadSpec for YCSB workload *preset* (one of A, B, C, D, F)."""
+    params = _PRESETS.get(preset.upper())
+    if params is None:
+        raise ConfigurationError(
+            f"unknown YCSB preset {preset!r}; choose from "
+            f"{', '.join(sorted(_PRESETS))} (E has no key-value analogue)"
+        )
+    return WorkloadSpec(num_keys=num_keys, value_size=value_size, seed=seed,
+                        **params)
+
+
+def ycsb_workload(preset: str, num_keys: int = 100_000,
+                  value_size: int = 128, seed: int = 0) -> Workload:
+    """Ready-to-run Workload for YCSB preset *preset*."""
+    return Workload(ycsb_spec(preset, num_keys=num_keys,
+                              value_size=value_size, seed=seed))
+
+
+def presets() -> Dict[str, WorkloadSpec]:
+    """All presets at default sizing (introspection/docs)."""
+    return {name: ycsb_spec(name) for name in _PRESETS}

@@ -1,0 +1,110 @@
+"""Zipf workload generation (§7.1 "Workloads").
+
+The paper's clients generate Zipf-distributed queries with "approximation
+techniques to quickly generate queries" (Gray et al. 1994).  We precompute
+the normalized rank probabilities once and then draw batches by inverse-CDF
+lookup (binary search over the cumulative distribution), which is both exact
+and fast with numpy.
+
+Skewness parameters follow the paper: 0.9, 0.95, 0.99; ``uniform`` is the
+degenerate case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ZipfDistribution:
+    """Probabilities of ranks 1..n under Zipf with exponent *s*.
+
+    ``s == 0`` gives the uniform distribution.
+    """
+
+    def __init__(self, num_items: int, skew: float):
+        if num_items <= 0:
+            raise ConfigurationError("num_items must be positive")
+        if skew < 0:
+            raise ConfigurationError("skew must be non-negative")
+        self.num_items = num_items
+        self.skew = skew
+        ranks = np.arange(1, num_items + 1, dtype=np.float64)
+        weights = ranks ** (-skew) if skew > 0 else np.ones_like(ranks)
+        self.probs = weights / weights.sum()
+        self._cdf = np.cumsum(self.probs)
+        # Guard against floating-point drift in searchsorted.
+        self._cdf[-1] = 1.0
+
+    def head_mass(self, k: int) -> float:
+        """Probability mass of the *k* most popular ranks."""
+        if k <= 0:
+            return 0.0
+        return float(self._cdf[min(k, self.num_items) - 1])
+
+    def sample_ranks(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw *count* ranks (0-based) by inverse-CDF lookup."""
+        u = rng.random(count)
+        return np.searchsorted(self._cdf, u, side="left")
+
+    def rank_probability(self, rank: int) -> float:
+        """Probability of the 0-based *rank*."""
+        return float(self.probs[rank])
+
+
+class ZipfGenerator:
+    """Seeded stream of 0-based ranks under a Zipf distribution."""
+
+    def __init__(self, num_items: int, skew: float, seed: int = 0,
+                 batch: int = 4096):
+        self.dist = ZipfDistribution(num_items, skew)
+        self._rng = np.random.default_rng(seed)
+        self._batch_size = batch
+        self._buffer: Optional[np.ndarray] = None
+        self._pos = 0
+
+    def next_rank(self) -> int:
+        """Return the next sampled rank."""
+        if self._buffer is None or self._pos >= len(self._buffer):
+            self._buffer = self.dist.sample_ranks(self._batch_size, self._rng)
+            self._pos = 0
+        rank = int(self._buffer[self._pos])
+        self._pos += 1
+        return rank
+
+    def sample(self, count: int) -> np.ndarray:
+        """Return *count* ranks as an array (bypasses the buffer)."""
+        return self.dist.sample_ranks(count, self._rng)
+
+
+class KeySpace:
+    """Deterministic mapping between item ids and 16-byte keys.
+
+    Keys are ``b'k' + 15-digit decimal id`` so they are printable in traces
+    and trivially invertible in tests.
+    """
+
+    PREFIX = b"k"
+
+    def __init__(self, num_keys: int):
+        if num_keys <= 0:
+            raise ConfigurationError("num_keys must be positive")
+        if num_keys >= 10 ** 15:
+            raise ConfigurationError("key space too large for the encoding")
+        self.num_keys = num_keys
+
+    def key(self, item: int) -> bytes:
+        if not 0 <= item < self.num_keys:
+            raise ConfigurationError(f"item {item} outside key space")
+        return self.PREFIX + str(item).zfill(15).encode()
+
+    def item(self, key: bytes) -> int:
+        if len(key) != 16 or not key.startswith(self.PREFIX):
+            raise ConfigurationError(f"not a keyspace key: {key!r}")
+        return int(key[1:])
+
+    def keys(self, items) -> list:
+        return [self.key(i) for i in items]

@@ -1,0 +1,46 @@
+"""NetCache core: the switch data plane, memory manager, controller, and
+coherence machinery — the paper's primary contribution."""
+
+from repro.core.controller import CacheController
+from repro.core.dataplane import Action, NetCacheDataplane, PipelineResult
+from repro.core.lookup import CacheLookupTable, LookupResult
+from repro.core.memory import Allocation, SwitchMemoryManager
+from repro.core.pipeline import (
+    PipelineGeometry,
+    PipelineLayout,
+    ProgramGeometry,
+    compile_layout,
+)
+from repro.core.primitives import MatchActionTable, RegisterArray, Stage
+from repro.core.resources import ResourceReport, paper_prototype_report, report_for
+from repro.core.stats import QueryStatistics
+from repro.core.status import CacheStatusModule
+from repro.core.switch import NetCacheSwitch, PlainSwitch
+from repro.core.values import ValueStore, chunk_value
+
+__all__ = [
+    "Action",
+    "Allocation",
+    "CacheController",
+    "CacheLookupTable",
+    "CacheStatusModule",
+    "LookupResult",
+    "MatchActionTable",
+    "NetCacheDataplane",
+    "NetCacheSwitch",
+    "PipelineGeometry",
+    "PipelineLayout",
+    "PipelineResult",
+    "PlainSwitch",
+    "ProgramGeometry",
+    "compile_layout",
+    "QueryStatistics",
+    "RegisterArray",
+    "ResourceReport",
+    "Stage",
+    "SwitchMemoryManager",
+    "ValueStore",
+    "chunk_value",
+    "paper_prototype_report",
+    "report_for",
+]

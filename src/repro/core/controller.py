@@ -1,0 +1,268 @@
+"""The NetCache controller (§3 "Controller", §4.3 "Cache Update", Fig 4).
+
+The controller is *not* an SDN controller: it manages only the NetCache
+state — which keys are cached and the statistics configuration.  It receives
+heavy-hitter reports from the data plane (via the switch driver; here a
+callback registered on the switch), compares them against sampled counters
+of already-cached items (the Redis-style sampling trick the paper cites),
+evicts less-popular keys, fetches values from the owning storage servers
+(blocking writes to the key for the duration, which preserves coherence
+during insertion), and installs the new entries.  It also clears the
+statistics module every ``stats_interval`` seconds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.constants import (
+    COUNTER_SAMPLE_SIZE,
+    DEFAULT_CACHE_ITEMS,
+    STATS_RESET_INTERVAL,
+)
+from repro.core.switch import NetCacheSwitch
+from repro.errors import ConfigurationError
+from repro.kvstore.partition import HashPartitioner
+from repro.kvstore.server import StorageServer
+
+
+class CacheController:
+    """Control loop for one NetCache switch.
+
+    Parameters
+    ----------
+    switch:
+        The NetCache ToR switch to manage.
+    partitioner:
+        Key -> owning-server mapping (shared with the clients).
+    servers:
+        Node-id -> server objects, for control-plane value fetches.
+    cache_capacity:
+        Maximum number of cached items (experiments default to 10 000; the
+        hardware ceiling is the 64K lookup table).
+    sample_size:
+        Cached keys sampled per eviction decision (§4.3).
+    stats_interval:
+        Seconds between statistics resets.
+    update_interval:
+        Seconds between update rounds that drain pending hot reports.
+    port_resolver:
+        Maps a server id to this switch's egress port toward it.  Defaults
+        to the switch's own neighbour table (a ToR); a spine cache passes a
+        resolver that routes through the server's rack.
+    """
+
+    def __init__(self,
+                 switch: NetCacheSwitch,
+                 partitioner: HashPartitioner,
+                 servers: Dict[int, StorageServer],
+                 cache_capacity: int = DEFAULT_CACHE_ITEMS,
+                 sample_size: int = COUNTER_SAMPLE_SIZE,
+                 stats_interval: float = STATS_RESET_INTERVAL,
+                 update_interval: float = 0.1,
+                 seed: int = 42,
+                 port_resolver=None,
+                 reorganize_interval: float = 10.0,
+                 fragmentation_threshold: float = 0.5):
+        if cache_capacity <= 0:
+            raise ConfigurationError("cache_capacity must be positive")
+        if sample_size <= 0:
+            raise ConfigurationError("sample_size must be positive")
+        self.switch = switch
+        self.partitioner = partitioner
+        self.servers = servers
+        self.cache_capacity = cache_capacity
+        self.sample_size = sample_size
+        self.stats_interval = stats_interval
+        self.update_interval = update_interval
+        self._port_of = port_resolver or switch.egress_port_of
+        self.reorganize_interval = reorganize_interval
+        self.fragmentation_threshold = fragmentation_threshold
+        self.reorganizations = 0
+        self._rng = random.Random(seed)
+        self._pending: List[bytes] = []
+        self._pending_set = set()
+        switch.hot_key_handler = self.report_hot_key
+        # Telemetry.
+        self.reports_received = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.rejections = 0
+        self.rounds = 0
+        self._running = False
+
+    # -- data-plane reports -------------------------------------------------------
+
+    def report_hot_key(self, key: bytes) -> None:
+        """Heavy-hitter report from the switch data plane."""
+        self.reports_received += 1
+        if key not in self._pending_set:
+            self._pending.append(key)
+            self._pending_set.add(key)
+
+    # -- periodic driving ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the periodic update and reset loops on the switch's
+        simulator (call after the switch is attached)."""
+        if self._running:
+            return
+        self._running = True
+        sim = self.switch.sim
+        sim.schedule(self.update_interval, self._update_tick)
+        sim.schedule(self.stats_interval, self._reset_tick)
+        if self.reorganize_interval > 0:
+            sim.schedule(self.reorganize_interval, self._reorganize_tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _update_tick(self) -> None:
+        if not self._running:
+            return
+        self.update_round()
+        self.switch.sim.schedule(self.update_interval, self._update_tick)
+
+    def _reset_tick(self) -> None:
+        if not self._running:
+            return
+        self.switch.reset_statistics()
+        self.switch.sim.schedule(self.stats_interval, self._reset_tick)
+
+    def _reorganize_tick(self) -> None:
+        """Periodic memory reorganization (§4.4.2): repack pipes whose
+        value memory has fragmented past the threshold."""
+        if not self._running:
+            return
+        self.reorganize()
+        self.switch.sim.schedule(self.reorganize_interval,
+                                 self._reorganize_tick)
+
+    def reorganize(self) -> int:
+        """Defragment fragmented pipes now; returns pipes repacked."""
+        repacked = 0
+        for pipe, mm in enumerate(self.switch.dataplane.memory):
+            if mm.fragmentation() > self.fragmentation_threshold:
+                self._defragment_pipe(pipe)
+                self.reorganizations += 1
+                repacked += 1
+        return repacked
+
+    # -- the update algorithm (§4.3) ----------------------------------------------------
+
+    def update_round(self) -> int:
+        """Drain pending hot-key reports; returns insertions performed."""
+        self.rounds += 1
+        inserted = 0
+        pending, self._pending = self._pending, []
+        self._pending_set.clear()
+        for key in pending:
+            if self.switch.dataplane.is_cached(key):
+                continue
+            if self._admit(key):
+                inserted += 1
+        return inserted
+
+    def _admit(self, key: bytes) -> bool:
+        """Try to cache *key*, evicting a colder victim if at capacity.
+
+        The victim is chosen before but evicted only after the candidate's
+        value has been fetched, so a failed fetch never shrinks the cache.
+        """
+        victim = None
+        if self.switch.dataplane.cache_size() >= self.cache_capacity:
+            victim = self._pick_victim(key)
+            if victim is None:
+                self.rejections += 1
+                return False
+        return self._insert(key, victim=victim)
+
+    def _pick_victim(self, candidate: bytes) -> Optional[bytes]:
+        """Sample cached keys; return the coldest if the candidate is hotter.
+
+        The candidate's frequency comes from the Count-Min sketch (its
+        report already crossed the hot threshold); cached keys' frequencies
+        come from their per-key counters.  Sampling avoids scanning tens of
+        thousands of counters per decision (§4.3).
+        """
+        cached = self.switch.cached_keys()
+        if not cached:
+            return None
+        sample = (cached if len(cached) <= self.sample_size
+                  else self._rng.sample(cached, self.sample_size))
+        coldest = min(sample, key=self.switch.counter_of)
+        candidate_count = self.switch.dataplane.stats.sketch.estimate(candidate)
+        # Counters and sketch are reset together, so the comparison is
+        # between same-interval (sampled) frequencies.
+        if candidate_count <= self.switch.counter_of(coldest):
+            return None
+        return coldest
+
+    def _insert(self, key: bytes, victim: Optional[bytes] = None) -> bool:
+        """Fetch the value from the owning server and install the entry.
+
+        The owning server blocks writes to the key between
+        ``fetch_for_insertion`` and ``finish_insertion`` (§4.3), so a racing
+        write cannot leave the switch serving a stale value.  When a
+        *victim* is supplied, it is evicted only once the fetch succeeded.
+        """
+        server_id = self.partitioner.server_for(key)
+        server = self.servers.get(server_id)
+        if server is None:
+            self.rejections += 1
+            return False
+        value = server.fetch_for_insertion(key)
+        try:
+            if not value:
+                self.rejections += 1
+                return False
+            if victim is not None:
+                self.switch.evict(victim)
+                self.evictions += 1
+            port = self._port_of(server_id)
+            if not self.switch.dataplane.install(key, value, port):
+                # Pipe memory full or fragmented: defragment once and retry.
+                self._defragment_pipe(self.switch.dataplane.pipe_of_port(port))
+                if not self.switch.dataplane.install(key, value, port):
+                    self.rejections += 1
+                    return False
+            self.insertions += 1
+            return True
+        finally:
+            server.finish_insertion(key)
+
+    def _defragment_pipe(self, pipe: int) -> None:
+        """Reorganize one pipe's value memory (paper §4.4.2: "periodic
+        memory reorganization").  Moved items are rewritten through the
+        control plane; each is invalid only between clear and rewrite, and
+        we do both atomically here."""
+        dataplane = self.switch.dataplane
+        values = dataplane.values[pipe]
+        moves = dataplane.memory[pipe].defragment()
+        # Moves can overlap (one key's new slots are another's old slots),
+        # so stage all reads before any clear, and all clears before any
+        # write.
+        staged = [(key, old, new, values.read(old)) for key, old, new in moves]
+        for _key, old, _new, _value in staged:
+            values.clear(old)
+        for key, _old, new, value in staged:
+            values.write(new, value)
+            entry = dataplane.lookup.table.lookup(key)
+            entry["bitmap"] = new.bitmap
+            entry["value_index"] = new.index
+
+    # -- bulk operations for experiment setup ------------------------------------------
+
+    def preload(self, keys: List[bytes]) -> int:
+        """Install *keys* directly (experiments start with a warm cache,
+        §7.4).  Returns the number actually installed."""
+        installed = 0
+        for key in keys:
+            if self.switch.dataplane.is_cached(key):
+                continue
+            if self.switch.dataplane.cache_size() >= self.cache_capacity:
+                break
+            if self._insert(key):
+                installed += 1
+        return installed

@@ -1,0 +1,295 @@
+"""The NetCache switch data plane (Algorithm 1, Fig 8).
+
+:class:`NetCacheDataplane` is the functional model of the compiled P4
+program: given a packet and its ingress port, it performs the cache lookup,
+serves or invalidates cached items, updates the query statistics, and decides
+the egress port.  It owns the per-egress-pipe value stores, cache status
+modules, and memory managers, plus the (logically global) statistics engine.
+
+The surrounding :class:`~repro.core.switch.NetCacheSwitch` node handles
+actual packet motion; this class never talks to the simulator, which keeps it
+unit-testable packet by packet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+from repro.constants import (
+    LOOKUP_TABLE_ENTRIES,
+    NUM_PIPES,
+    NUM_VALUE_STAGES,
+    VALUE_ARRAY_SLOTS,
+    VALUE_SLOT_SIZE,
+)
+from repro.core.lookup import CacheLookupTable, LookupResult
+from repro.core.memory import SwitchMemoryManager
+from repro.core.primitives import port_to_pipe
+from repro.core.stats import QueryStatistics
+from repro.core.status import CacheStatusModule
+from repro.core.values import ValueStore
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.protocol import CACHED_WRITE_REWRITE, Op
+from repro.net.routing import RoutingTable
+
+
+class Action(enum.Enum):
+    """What the pipeline decided to do with the packet."""
+
+    FORWARD = "forward"
+    DROP = "drop"
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Outcome of one pipeline traversal."""
+
+    action: Action
+    egress_port: Optional[int] = None
+    #: key to report hot to the controller (Alg 1 line 9), if any.
+    hot_key: Optional[bytes] = None
+    #: extra packets the pipeline generated (e.g. a CACHE_UPDATE_ACK), each
+    #: paired with its egress port.
+    generated: List["PortedPacket"] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class PortedPacket:
+    port: int
+    packet: Packet
+
+
+class NetCacheDataplane:
+    """Functional model of the NetCache P4 program."""
+
+    def __init__(self,
+                 routing: RoutingTable,
+                 num_pipes: int = NUM_PIPES,
+                 ports_per_pipe: int = 64,
+                 entries: int = LOOKUP_TABLE_ENTRIES,
+                 num_value_stages: int = NUM_VALUE_STAGES,
+                 value_slots: int = VALUE_ARRAY_SLOTS,
+                 slot_bytes: int = VALUE_SLOT_SIZE,
+                 stats: Optional[QueryStatistics] = None):
+        if num_pipes <= 0:
+            raise ConfigurationError("num_pipes must be positive")
+        self.routing = routing
+        self.num_pipes = num_pipes
+        self.ports_per_pipe = ports_per_pipe
+        self.lookup = CacheLookupTable(entries=entries, ingress_pipes=num_pipes)
+        self.stats = stats or QueryStatistics(entries=entries)
+        # Per-egress-pipe state: values live only in the pipe that connects
+        # to the owning server (§4.4.4); each pipe gets its own allocator.
+        self.values: List[ValueStore] = [
+            ValueStore(p, num_arrays=num_value_stages, slots=value_slots,
+                       slot_bytes=slot_bytes)
+            for p in range(num_pipes)
+        ]
+        self.status: List[CacheStatusModule] = [
+            CacheStatusModule(p, entries=entries) for p in range(num_pipes)
+        ]
+        self.memory: List[SwitchMemoryManager] = [
+            SwitchMemoryManager(num_arrays=num_value_stages,
+                                slots_per_array=value_slots,
+                                slot_bytes=slot_bytes)
+            for p in range(num_pipes)
+        ]
+        #: bumped on every install/evict so callers can cache derived views
+        #: of the cache contents.
+        self.contents_version = 0
+        # Telemetry.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.writes_seen = 0
+        self.invalidations = 0
+        self.updates_received = 0
+
+    # -- helpers ----------------------------------------------------------------
+
+    def pipe_of_port(self, port: int) -> int:
+        return port_to_pipe(port, self.ports_per_pipe) % self.num_pipes
+
+    def _route(self, dst: int) -> int:
+        return self.routing.lookup(dst)
+
+    # -- the pipeline (Algorithm 1) ------------------------------------------------
+
+    def process(self, pkt: Packet, ingress_port: int) -> PipelineResult:
+        """Run one packet through ingress + egress processing."""
+        if not pkt.is_netcache:
+            return PipelineResult(Action.FORWARD, self._route(pkt.dst))
+
+        if pkt.op == Op.GET:
+            return self._process_get(pkt)
+        if pkt.op in (Op.PUT, Op.DELETE):
+            return self._process_write(pkt)
+        if pkt.op == Op.CACHE_UPDATE:
+            return self._process_update(pkt)
+        # Replies, acks and anything else ride normal routing.
+        return PipelineResult(Action.FORWARD, self._route(pkt.dst))
+
+    # Read queries: Alg 1 lines 1-9.
+    def _process_get(self, pkt: Packet) -> PipelineResult:
+        res = self.lookup.lookup(pkt.key)
+        if res is not None:
+            pipe = self.pipe_of_port(res.egress_port)
+            if self.status[pipe].is_valid(res.key_index):
+                return self._serve_hit(pkt, res, pipe)
+        return self._miss_path(pkt)
+
+    def _serve_hit(self, pkt: Packet, res: LookupResult, pipe: int) -> PipelineResult:
+        self.cache_hits += 1
+        self.stats.cache_count(pkt.key, res.key_index)
+        value = self.values[pipe].read(res.allocation)
+        client = pkt.src
+        # Ingress saved the route back to the client (match on source
+        # address, §4.4.4); egress mirrors the reply to that upstream port.
+        reply_port = self._route(client)
+        pkt.turn_around(Op.GET_REPLY, value=value)
+        pkt.served_by_cache = True
+        return PipelineResult(Action.FORWARD, reply_port)
+
+    def _miss_path(self, pkt: Packet) -> PipelineResult:
+        self.cache_misses += 1
+        hot = self.stats.heavy_hitter_count(pkt.key)
+        return PipelineResult(
+            Action.FORWARD, self._route(pkt.dst), hot_key=hot
+        )
+
+    # Write queries: Alg 1 lines 10-13.
+    def _process_write(self, pkt: Packet) -> PipelineResult:
+        self.writes_seen += 1
+        res = self.lookup.lookup(pkt.key)
+        if res is not None:
+            pipe = self.pipe_of_port(res.egress_port)
+            self.status[pipe].invalidate(res.key_index)
+            self.invalidations += 1
+            # Tell the server its key is cached so it runs the coherence
+            # path (§4.3: "modifies the operation field ... to special
+            # values").
+            pkt.op = CACHED_WRITE_REWRITE[pkt.op]
+        return PipelineResult(Action.FORWARD, self._route(pkt.dst))
+
+    # Server -> switch value updates (§4.3).
+    def _process_update(self, pkt: Packet) -> PipelineResult:
+        self.updates_received += 1
+        res = self.lookup.lookup(pkt.key)
+        applied = False
+        if res is not None and pkt.value is not None:
+            pipe = self.pipe_of_port(res.egress_port)
+            store = self.values[pipe]
+            if store.fits(res.allocation, pkt.value):
+                if self.status[pipe].try_update(res.key_index, pkt.seq):
+                    store.write(res.allocation, pkt.value)
+                applied = True
+            # A larger value cannot be updated by the data plane (§4.3);
+            # the entry stays invalid until the controller reinstalls it.
+        ack = pkt.make_reply(Op.CACHE_UPDATE_ACK)
+        ack.served_by_cache = applied
+        ack_port = self._route(ack.dst)
+        # The update packet itself terminates at the switch.
+        return PipelineResult(Action.DROP,
+                              generated=[PortedPacket(ack_port, ack)])
+
+    def observe_read(self, key: bytes) -> Optional[bytes]:
+        """Statistics-only accounting of one read (no packet motion).
+
+        Runs the same lookup/valid/statistics path as a real Get and returns
+        the key if it should be reported hot.  The hybrid emulation
+        (:mod:`repro.sim.emulation`) uses this to drive the real statistics
+        and controller machinery without paying per-packet event costs.
+        """
+        res = self.lookup.lookup(key)
+        if res is not None:
+            pipe = self.pipe_of_port(res.egress_port)
+            if self.status[pipe].is_valid(res.key_index):
+                self.cache_hits += 1
+                self.stats.cache_count(key, res.key_index)
+                return None
+        self.cache_misses += 1
+        return self.stats.heavy_hitter_count(key)
+
+    # -- control-plane API (used by the controller) ---------------------------------
+
+    def cached_keys(self) -> List[bytes]:
+        return self.lookup.cached_keys()
+
+    def is_cached(self, key: bytes) -> bool:
+        return key in self.lookup
+
+    def cache_size(self) -> int:
+        return len(self.lookup)
+
+    def install(self, key: bytes, value: bytes, egress_port: int) -> bool:
+        """Insert *key* -> *value*, placed in the pipe of *egress_port*.
+
+        Returns False when that pipe's memory has no room (caller may evict
+        or defragment and retry).  Empty values are not cacheable: a Get on
+        them is served by the storage server.
+        """
+        if not value:
+            return False
+        pipe = self.pipe_of_port(egress_port)
+        alloc = self.memory[pipe].insert(key, len(value))
+        if alloc is None:
+            return False
+        key_index = self.lookup.insert(key, alloc, egress_port)
+        self.values[pipe].write(alloc, value)
+        self.status[pipe].reset_entry(key_index)
+        self.status[pipe].set_valid(key_index)
+        self.contents_version += 1
+        return True
+
+    def evict(self, key: bytes) -> bool:
+        """Remove *key* from the cache; returns False if absent."""
+        res = self.lookup.lookup(key)
+        if res is None:
+            return False
+        pipe = self.pipe_of_port(res.egress_port)
+        key_index = self.lookup.remove(key)
+        self.status[pipe].reset_entry(key_index)
+        self.values[pipe].clear(res.allocation)
+        self.memory[pipe].evict(key)
+        self.contents_version += 1
+        return True
+
+    def read_cached_value(self, key: bytes) -> Optional[bytes]:
+        """Control-plane read of a cached (valid) value; None otherwise."""
+        res = self.lookup.lookup(key)
+        if res is None:
+            return None
+        pipe = self.pipe_of_port(res.egress_port)
+        if not self.status[pipe].is_valid(res.key_index):
+            return None
+        return self.values[pipe].read(res.allocation)
+
+    def counter_of(self, key: bytes) -> int:
+        """Controller read of one cached key's hit counter."""
+        key_index = self.lookup.key_index_of(key)
+        if key_index is None:
+            return 0
+        return self.stats.read_counter(key_index)
+
+    def reset_statistics(self) -> None:
+        self.stats.reset()
+
+    def clear_cache(self) -> int:
+        """Drop every cached item (switch reboot, §3 "Switch").
+
+        The switch holds no critical state: a rebooted NetCache switch
+        comes back with an empty cache and refills from heavy-hitter
+        reports.  Returns the number of entries dropped.
+        """
+        dropped = 0
+        for key in self.cached_keys():
+            if self.evict(key):
+                dropped += 1
+        self.reset_statistics()
+        return dropped
+
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0

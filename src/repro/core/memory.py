@@ -1,0 +1,187 @@
+"""Switch memory management — Algorithm 2 (§4.4.2).
+
+The controller manages which register-array slots hold which cached item.
+The hardware constraint is that a key's value must live at the *same index*
+in every register array it uses; the free-space state is therefore one
+availability bitmap per index ("bin"), with bit *a* set when array *a*'s slot
+at that index is free.  Insertion is First Fit over bins; eviction returns
+the item's bits to its bin.
+
+Beyond the paper's pseudocode this module adds the "periodic memory
+reorganization" the paper mentions: :meth:`defragment` repacks small items so
+that bins regain contiguous capacity for large values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.constants import NUM_VALUE_STAGES, VALUE_ARRAY_SLOTS, VALUE_SLOT_SIZE
+from repro.errors import CacheFullError, ConfigurationError
+from repro.core.primitives import bits_of, lowest_set_bits, popcount
+
+
+@dataclasses.dataclass(frozen=True)
+class Allocation:
+    """Placement of one cached item: same *index* in each array of *bitmap*."""
+
+    index: int
+    bitmap: int
+
+    @property
+    def num_slots(self) -> int:
+        return popcount(self.bitmap)
+
+    @property
+    def arrays(self) -> Tuple[int, ...]:
+        return bits_of(self.bitmap)
+
+
+class SwitchMemoryManager:
+    """Algorithm 2: first-fit bin packing of values into register slots.
+
+    Parameters
+    ----------
+    num_arrays:
+        Number of value register arrays (stages), default 8.
+    slots_per_array:
+        Index range of each array, default 64K.
+    slot_bytes:
+        Bytes one slot stores, default 16.
+    """
+
+    def __init__(self, num_arrays: int = NUM_VALUE_STAGES,
+                 slots_per_array: int = VALUE_ARRAY_SLOTS,
+                 slot_bytes: int = VALUE_SLOT_SIZE):
+        if num_arrays <= 0 or num_arrays > 64:
+            raise ConfigurationError("num_arrays must be in [1, 64]")
+        if slots_per_array <= 0 or slot_bytes <= 0:
+            raise ConfigurationError("slots and slot_bytes must be positive")
+        self.num_arrays = num_arrays
+        self.slots_per_array = slots_per_array
+        self.slot_bytes = slot_bytes
+        self.full_mask = (1 << num_arrays) - 1
+        #: availability bitmap per index; 1 bits are free slots.
+        self._mem: List[int] = [self.full_mask] * slots_per_array
+        #: key -> Allocation
+        self._key_map: Dict[bytes, Allocation] = {}
+        #: first-fit scan cursor optimization: lowest index that might have
+        #: free capacity for each requested size is not tracked; we keep the
+        #: plain paper algorithm but remember the lowest non-full index.
+        self._scan_floor = 0
+
+    # -- capacity queries -----------------------------------------------------
+
+    def slots_needed(self, value_size: int) -> int:
+        """Number of 16-byte slots a value of *value_size* bytes occupies."""
+        if value_size <= 0:
+            raise ConfigurationError("value_size must be positive")
+        n = -(-value_size // self.slot_bytes)  # ceil division
+        if n > self.num_arrays:
+            raise ConfigurationError(
+                f"value of {value_size} bytes needs {n} slots; only "
+                f"{self.num_arrays} arrays exist"
+            )
+        return n
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_arrays * self.slots_per_array
+
+    @property
+    def used_slots(self) -> int:
+        return sum(alloc.num_slots for alloc in self._key_map.values())
+
+    @property
+    def free_slots(self) -> int:
+        return self.total_slots - self.used_slots
+
+    def utilization(self) -> float:
+        return self.used_slots / self.total_slots
+
+    def __len__(self) -> int:
+        return len(self._key_map)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._key_map
+
+    def lookup(self, key: bytes) -> Optional[Allocation]:
+        return self._key_map.get(key)
+
+    def items(self) -> Iterator[Tuple[bytes, Allocation]]:
+        return iter(list(self._key_map.items()))
+
+    # -- Algorithm 2 -------------------------------------------------------------
+
+    def insert(self, key: bytes, value_size: int) -> Optional[Allocation]:
+        """First-fit insertion; returns the allocation or None when no bin
+        has enough free slots (caller may defragment and retry)."""
+        if key in self._key_map:
+            return None
+        n = self.slots_needed(value_size)
+        advancing = True
+        for index in range(self._scan_floor, self.slots_per_array):
+            bitmap = self._mem[index]
+            if bitmap == 0:
+                # Completely full bins at the front can be skipped by every
+                # future insertion, whatever its size.
+                if advancing:
+                    self._scan_floor = index + 1
+                continue
+            advancing = False
+            if popcount(bitmap) >= n:
+                value_bitmap = lowest_set_bits(bitmap, n)
+                self._mem[index] = bitmap & ~value_bitmap
+                alloc = Allocation(index=index, bitmap=value_bitmap)
+                self._key_map[key] = alloc
+                return alloc
+        return None
+
+    def evict(self, key: bytes) -> bool:
+        """Free the slots of *key*; returns False if it was not cached."""
+        alloc = self._key_map.pop(key, None)
+        if alloc is None:
+            return False
+        self._mem[alloc.index] |= alloc.bitmap
+        if alloc.index < self._scan_floor:
+            self._scan_floor = alloc.index
+        return True
+
+    # -- reorganization (paper §4.4.2, last paragraph) -----------------------------
+
+    def defragment(self) -> List[Tuple[bytes, Allocation, Allocation]]:
+        """Repack items to consolidate free slots into whole bins.
+
+        Strategy: rebuild the placement from scratch, placing large items
+        first (first-fit decreasing).  Returns ``(key, old, new)`` moves so
+        the data plane can be told to copy values; items that did not move
+        are omitted.  The data-plane copy is a control-plane operation in
+        NetCache; callers must invalidate each moved key while copying.
+        """
+        items = sorted(
+            self._key_map.items(), key=lambda kv: kv[1].num_slots, reverse=True
+        )
+        self._mem = [self.full_mask] * self.slots_per_array
+        self._key_map = {}
+        self._scan_floor = 0
+        moves: List[Tuple[bytes, Allocation, Allocation]] = []
+        for key, old in items:
+            new = self.insert(key, old.num_slots * self.slot_bytes)
+            if new is None:  # pragma: no cover - repacking never loses space
+                raise CacheFullError("defragmentation lost capacity")
+            if new != old:
+                moves.append((key, old, new))
+        return moves
+
+    def fragmentation(self) -> float:
+        """1 - (largest insertable value / free capacity), in slot terms.
+
+        0.0 means a maximal value fits whenever raw free space exists; close
+        to 1.0 means free slots are scattered across bins.
+        """
+        free = self.free_slots
+        if free == 0:
+            return 0.0
+        best_bin = max(popcount(b) for b in self._mem)
+        return 1.0 - best_bin / min(self.num_arrays, free)

@@ -1,0 +1,188 @@
+"""Pipeline layout: fitting the NetCache program onto switch stages.
+
+§4.4.1 describes the constraints a P4 program must satisfy — a fixed number
+of pipes, a fixed number of stages per pipe, and per-stage SRAM — and §5
+recounts how hard meeting them was ("we sometimes found it challenging to
+fit the key-value store and the query statistics modules into switch tables
+and register arrays").  This module is the reproduction's equivalent of the
+compiler's fitting step: it places every NetCache component (Fig 8) into
+concrete :class:`~repro.core.primitives.Stage` objects and fails loudly when
+a geometry does not fit, producing the stage-by-stage occupancy report.
+
+Placement rules encoded (Fig 8, §4.4.4):
+
+* the cache lookup table lives in an ingress stage of *every* ingress pipe;
+* the routing table follows it at ingress;
+* at egress: cache status first, then the statistics components (per-key
+  counters, the Count-Min rows, the Bloom rows — rows of one sketch sit in
+  distinct stages because a register array is read-modify-written once per
+  packet), then one value register array per stage;
+* two register arrays of different components may share a stage only if the
+  stage's SRAM allows (the model's only sharing constraint).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.constants import (
+    BLOOM_BITS,
+    BLOOM_HASHES,
+    CM_SKETCH_ROWS,
+    CM_SKETCH_WIDTH,
+    KEY_SIZE,
+    LOOKUP_TABLE_ENTRIES,
+    NUM_VALUE_STAGES,
+    VALUE_ARRAY_SLOTS,
+    VALUE_SLOT_SIZE,
+)
+from repro.core.primitives import MatchActionTable, RegisterArray, Stage
+from repro.errors import ResourceExhaustedError
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineGeometry:
+    """The chip shape a program must fit (Tofino-like defaults)."""
+
+    ingress_stages: int = 12
+    egress_stages: int = 12
+    stage_sram: int = 1536 * 1024  # bytes per stage
+    ingress_pipes: int = 2
+    egress_pipes: int = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class ProgramGeometry:
+    """The NetCache program's sizing knobs (§6 defaults)."""
+
+    lookup_entries: int = LOOKUP_TABLE_ENTRIES
+    value_stages: int = NUM_VALUE_STAGES
+    value_slots: int = VALUE_ARRAY_SLOTS
+    slot_bytes: int = VALUE_SLOT_SIZE
+    cm_rows: int = CM_SKETCH_ROWS
+    cm_width: int = CM_SKETCH_WIDTH
+    bloom_rows: int = BLOOM_HASHES
+    bloom_bits: int = BLOOM_BITS
+    routing_entries: int = 4096
+
+
+@dataclasses.dataclass
+class PipelineLayout:
+    """A successful placement."""
+
+    ingress: List[Stage]
+    egress: List[Stage]
+    geometry: PipelineGeometry
+    program: ProgramGeometry
+
+    def egress_stages_used(self) -> int:
+        return sum(1 for s in self.egress if s.sram_used > 0)
+
+    def ingress_stages_used(self) -> int:
+        return sum(1 for s in self.ingress if s.sram_used > 0)
+
+    def report(self) -> str:
+        lines = []
+        for label, stages in (("ingress", self.ingress),
+                              ("egress", self.egress)):
+            for stage in stages:
+                if stage.sram_used == 0:
+                    continue
+                contents = ", ".join(
+                    [t.name for t in stage.tables]
+                    + [a.name for a in stage.arrays])
+                lines.append(
+                    f"{label} {stage.name}: {stage.sram_used / 1024:7.0f}KB "
+                    f"({stage.utilization():5.1%})  {contents}")
+        return "\n".join(lines)
+
+
+def _place_array(stages: List[Stage], start: int, array: RegisterArray,
+                 exclusive: bool = False) -> int:
+    """Place *array* in the first stage at or after *start* with room.
+
+    ``exclusive=True`` requires a stage without another register array of
+    the same packet path (sketch rows / value arrays each need their own
+    read-modify-write stage).  Returns the stage index used.
+    """
+    for idx in range(start, len(stages)):
+        stage = stages[idx]
+        if exclusive and stage.arrays:
+            continue
+        if stage.sram_used + array.sram_bytes <= stage.sram_budget:
+            stage.add_array(array)
+            return idx
+    raise ResourceExhaustedError(
+        f"no stage fits {array.name} ({array.sram_bytes / 1024:.0f}KB) "
+        f"from stage {start}"
+    )
+
+
+def compile_layout(geometry: PipelineGeometry = PipelineGeometry(),
+                   program: ProgramGeometry = ProgramGeometry()
+                   ) -> PipelineLayout:
+    """Fit the NetCache program onto the given chip geometry.
+
+    Raises :class:`ResourceExhaustedError` when it cannot — the same signal
+    the paper's authors got from the real compiler.
+    """
+    ingress = [Stage(f"i{n}", sram_budget=geometry.stage_sram)
+               for n in range(geometry.ingress_stages)]
+    egress = [Stage(f"e{n}", sram_budget=geometry.stage_sram)
+              for n in range(geometry.egress_stages)]
+
+    # Ingress: one lookup-table replica per ingress pipe (they are parallel
+    # hardware; we model the copies in successive stage objects purely for
+    # SRAM accounting), then the routing table.
+    for pipe in range(geometry.ingress_pipes):
+        table = MatchActionTable(
+            f"cache_lookup[pipe{pipe}]", max_entries=program.lookup_entries,
+            key_bytes=KEY_SIZE, action_data_bytes=8)
+        placed = False
+        for stage in ingress:
+            if stage.sram_used + table.sram_bytes <= stage.sram_budget:
+                stage.add_table(table)
+                placed = True
+                break
+        if not placed:
+            raise ResourceExhaustedError(
+                f"lookup table replica for pipe {pipe} does not fit")
+    routing = MatchActionTable("routing", max_entries=program.routing_entries,
+                               key_bytes=4, action_data_bytes=4)
+    for stage in ingress:
+        if stage.sram_used + routing.sram_bytes <= stage.sram_budget:
+            stage.add_table(routing)
+            break
+    else:
+        raise ResourceExhaustedError("routing table does not fit")
+
+    # Egress: status, statistics, then the value arrays.
+    cursor = 0
+    cursor = _place_array(
+        egress, cursor,
+        RegisterArray("cache_status", program.lookup_entries, 1))
+    _place_array(
+        egress, cursor,
+        RegisterArray("cache_counters", program.lookup_entries, 2))
+    for row in range(program.cm_rows):
+        cursor = _place_array(
+            egress, cursor,
+            RegisterArray(f"cm_row{row}", program.cm_width, 2),
+            exclusive=False)
+        cursor += 1  # each sketch row in its own stage (one RMW per packet)
+    for row in range(program.bloom_rows):
+        # 1-bit slots; the model's RegisterArray is byte-granular, so a
+        # row of `bloom_bits` bits is bloom_bits/8 one-byte slots of SRAM.
+        array = RegisterArray(f"bloom_row{row}", program.bloom_bits // 8, 1)
+        _place_array(egress, min(row, len(egress) - 1), array)
+    value_cursor = 0
+    for n in range(program.value_stages):
+        array = RegisterArray(f"value{n}", program.value_slots,
+                              program.slot_bytes)
+        value_cursor = _place_array(egress, value_cursor, array,
+                                    exclusive=False)
+        value_cursor += 1  # one value array per stage (Fig 6b)
+
+    return PipelineLayout(ingress=ingress, egress=egress,
+                          geometry=geometry, program=program)

@@ -1,0 +1,243 @@
+"""Programmable-switch primitives (§4.4.1, Fig 5).
+
+Functional models of the data-plane building blocks a P4 program composes:
+
+* :class:`RegisterArray` — per-stage stateful memory with a fixed slot count
+  and slot width, supporting read/write/add at line rate;
+* :class:`MatchActionTable` — an exact-match table with bounded entries that
+  yields action data for a matched key;
+* :class:`Stage` — one physical pipeline stage with an SRAM budget that its
+  tables and register arrays draw from.
+
+The models enforce the ASIC's structural constraints (slot width, entry
+limits, per-stage memory) so that a NetCache program that "compiles" against
+them is one that would fit the real chip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ResourceExhaustedError
+
+
+class RegisterArray:
+    """Stateful memory in one stage: ``slots`` entries of ``slot_bytes``.
+
+    Values are stored as ``bytes`` of length <= slot_bytes (short values are
+    significant; the slot is padded conceptually).  Integer counters use the
+    add/read_int interface with saturation at the width limit, matching the
+    switch ALU's saturating arithmetic.
+    """
+
+    def __init__(self, name: str, slots: int, slot_bytes: int):
+        if slots <= 0 or slot_bytes <= 0:
+            raise ConfigurationError("slots and slot_bytes must be positive")
+        self.name = name
+        self.slots = slots
+        self.slot_bytes = slot_bytes
+        self._data: List[bytes] = [b""] * slots
+        self._ints: List[int] = [0] * slots
+        self.max_int = (1 << (8 * slot_bytes)) - 1
+        self.reads = 0
+        self.writes = 0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.slots:
+            raise IndexError(f"{self.name}: index {index} out of [0, {self.slots})")
+
+    # -- byte-value interface (value tables) ---------------------------------
+
+    def read(self, index: int) -> bytes:
+        self._check_index(index)
+        self.reads += 1
+        return self._data[index]
+
+    def write(self, index: int, value: bytes) -> None:
+        self._check_index(index)
+        if len(value) > self.slot_bytes:
+            raise ConfigurationError(
+                f"{self.name}: value of {len(value)} bytes exceeds slot width "
+                f"{self.slot_bytes}"
+            )
+        self.writes += 1
+        self._data[index] = value
+
+    # -- integer interface (counters, valid bits) -------------------------------
+
+    def read_int(self, index: int) -> int:
+        self._check_index(index)
+        self.reads += 1
+        return self._ints[index]
+
+    def write_int(self, index: int, value: int) -> None:
+        self._check_index(index)
+        if not 0 <= value <= self.max_int:
+            raise ConfigurationError(
+                f"{self.name}: {value} does not fit in {self.slot_bytes} bytes"
+            )
+        self.writes += 1
+        self._ints[index] = value
+
+    def add(self, index: int, delta: int = 1) -> int:
+        """Saturating add; returns the new value."""
+        self._check_index(index)
+        self.writes += 1
+        new = min(self.max_int, self._ints[index] + delta)
+        self._ints[index] = new
+        return new
+
+    def clear(self) -> None:
+        """Zero the array (control-plane reset)."""
+        self._data = [b""] * self.slots
+        self._ints = [0] * self.slots
+
+    @property
+    def sram_bytes(self) -> int:
+        return self.slots * self.slot_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RegisterArray({self.name}, {self.slots}x{self.slot_bytes}B)"
+
+
+class MatchActionTable:
+    """Exact-match table: key bytes -> action data dict.
+
+    ``max_entries`` models the table's allocated SRAM; inserts beyond it
+    raise :class:`ResourceExhaustedError`, which is exactly the constraint
+    that forces NetCache's single-lookup-table design (§4.4.2).
+    """
+
+    def __init__(self, name: str, max_entries: int, key_bytes: int,
+                 action_data_bytes: int = 8):
+        if max_entries <= 0:
+            raise ConfigurationError("max_entries must be positive")
+        self.name = name
+        self.max_entries = max_entries
+        self.key_bytes = key_bytes
+        self.action_data_bytes = action_data_bytes
+        self._entries: Dict[bytes, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.updates = 0
+
+    def insert(self, match: bytes, action_data: Dict[str, Any]) -> None:
+        if match not in self._entries and len(self._entries) >= self.max_entries:
+            raise ResourceExhaustedError(
+                f"{self.name}: table full ({self.max_entries} entries)"
+            )
+        self._entries[match] = dict(action_data)
+        self.updates += 1
+
+    def remove(self, match: bytes) -> bool:
+        self.updates += 1
+        return self._entries.pop(match, None) is not None
+
+    def lookup(self, match: bytes) -> Optional[Dict[str, Any]]:
+        entry = self._entries.get(match)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def entries(self) -> Dict[bytes, Dict[str, Any]]:
+        """Copy of the current entries (control-plane read)."""
+        return {k: dict(v) for k, v in self._entries.items()}
+
+    def __contains__(self, match: bytes) -> bool:
+        return match in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM footprint: every entry stores its key plus action data."""
+        return self.max_entries * (self.key_bytes + self.action_data_bytes)
+
+
+class Stage:
+    """One pipeline stage: dedicated tables and register arrays with a
+    shared SRAM budget (§4.4.1)."""
+
+    def __init__(self, name: str, sram_budget: int = 1536 * 1024):
+        self.name = name
+        self.sram_budget = sram_budget
+        self.tables: List[MatchActionTable] = []
+        self.arrays: List[RegisterArray] = []
+
+    def _check_budget(self, extra: int) -> None:
+        if self.sram_used + extra > self.sram_budget:
+            raise ResourceExhaustedError(
+                f"stage {self.name}: {extra} bytes over the "
+                f"{self.sram_budget}-byte SRAM budget "
+                f"({self.sram_used} already used)"
+            )
+
+    def add_table(self, table: MatchActionTable) -> MatchActionTable:
+        self._check_budget(table.sram_bytes)
+        self.tables.append(table)
+        return table
+
+    def add_array(self, array: RegisterArray) -> RegisterArray:
+        self._check_budget(array.sram_bytes)
+        self.arrays.append(array)
+        return array
+
+    @property
+    def sram_used(self) -> int:
+        return sum(t.sram_bytes for t in self.tables) + sum(
+            a.sram_bytes for a in self.arrays
+        )
+
+    def utilization(self) -> float:
+        return self.sram_used / self.sram_budget
+
+
+def port_to_pipe(port: int, ports_per_pipe: int = 64) -> int:
+    """Map a physical port to its pipe (Tofino groups 64 ports per pipe)."""
+    if port < 0:
+        raise ConfigurationError(f"invalid port {port}")
+    return port // ports_per_pipe
+
+
+def popcount(x: int) -> int:
+    """Number of set bits (bitmaps select value register arrays)."""
+    return bin(x).count("1")
+
+
+def lowest_set_bits(bitmap: int, n: int) -> int:
+    """Return a mask of the *n* lowest set bits of *bitmap*.
+
+    Algorithm 2 allocates "the last n 1 bits" of an index's availability
+    bitmap; with arrays numbered from bit 0 this is the n lowest set bits.
+    Raises if the bitmap has fewer than n set bits.
+    """
+    out = 0
+    remaining = n
+    bit = 0
+    b = bitmap
+    while b and remaining:
+        if b & 1:
+            out |= 1 << bit
+            remaining -= 1
+        b >>= 1
+        bit += 1
+    if remaining:
+        raise ConfigurationError(
+            f"bitmap {bitmap:#x} has fewer than {n} set bits"
+        )
+    return out
+
+
+def bits_of(bitmap: int) -> Tuple[int, ...]:
+    """Indices of set bits, ascending (which register arrays hold a value)."""
+    out = []
+    bit = 0
+    while bitmap:
+        if bitmap & 1:
+            out.append(bit)
+        bitmap >>= 1
+        bit += 1
+    return tuple(out)

@@ -1,0 +1,108 @@
+"""Query statistics module (§4.4.3, Fig 7).
+
+Four components wired in data-plane order:
+
+1. a sampler in front of everything (high-pass filter that keeps 16-bit
+   counters meaningful at line rate);
+2. a per-key counter register array for *cached* keys;
+3. a Count-Min sketch estimating frequencies of *uncached* keys;
+4. a Bloom filter deduplicating hot-key reports to the controller.
+
+The controller clears all of it periodically; the clearing cycle bounds how
+fast the cache reacts to workload changes (§7.4 uses one second).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.constants import (
+    BLOOM_BITS,
+    BLOOM_HASHES,
+    CM_COUNTER_BITS,
+    CM_SKETCH_ROWS,
+    CM_SKETCH_WIDTH,
+    HOT_THRESHOLD,
+    LOOKUP_TABLE_ENTRIES,
+    SAMPLE_RATE,
+)
+from repro.core.primitives import RegisterArray
+from repro.errors import ConfigurationError
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.sampler import PacketSampler
+
+
+class QueryStatistics:
+    """The switch's query-statistics engine."""
+
+    def __init__(self,
+                 entries: int = LOOKUP_TABLE_ENTRIES,
+                 hot_threshold: int = HOT_THRESHOLD,
+                 sample_rate: float = SAMPLE_RATE,
+                 seed: int = 0,
+                 sampler_mode: str = "random"):
+        if hot_threshold <= 0:
+            raise ConfigurationError("hot_threshold must be positive")
+        self.sampler = PacketSampler(rate=sample_rate, seed=seed ^ 0x5A,
+                                     mode=sampler_mode)
+        self.counters = RegisterArray("cache_counters", entries,
+                                      CM_COUNTER_BITS // 8)
+        self.sketch = CountMinSketch(width=CM_SKETCH_WIDTH, depth=CM_SKETCH_ROWS,
+                                     counter_bits=CM_COUNTER_BITS, seed=seed)
+        self.bloom = BloomFilter(bits=BLOOM_BITS, num_hashes=BLOOM_HASHES,
+                                 seed=seed ^ 0xB10)
+        self.hot_threshold = hot_threshold
+        self.reports = 0
+        self.resets = 0
+
+    # -- data-plane operations -----------------------------------------------
+
+    def cache_count(self, key: bytes, key_index: int) -> None:
+        """Count a cache hit for the key at *key_index* (Alg 1 line 5)."""
+        if self.sampler.sample(key):
+            self.counters.add(key_index, 1)
+
+    def heavy_hitter_count(self, key: bytes) -> Optional[bytes]:
+        """Count a miss; return the key if it should be reported as hot.
+
+        Implements Alg 1 lines 7-9: sample, update the Count-Min sketch,
+        compare against the threshold, and pass new heavy hitters through
+        the Bloom filter so each is reported at most once per interval.
+        """
+        if not self.sampler.sample(key):
+            return None
+        estimate = self.sketch.update(key)
+        if estimate < self.hot_threshold:
+            return None
+        if self.bloom.add(key):
+            return None  # already reported this interval
+        self.reports += 1
+        return key
+
+    # -- control-plane operations ----------------------------------------------
+
+    def read_counter(self, key_index: int) -> int:
+        """Controller reads the hit counter of one cached key."""
+        return self.counters.read_int(key_index)
+
+    def set_hot_threshold(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ConfigurationError("hot_threshold must be positive")
+        self.hot_threshold = threshold
+
+    def set_sample_rate(self, rate: float) -> None:
+        self.sampler.set_rate(rate)
+
+    def reset(self) -> None:
+        """Clear counters, sketch, and Bloom filter (periodic, §4.4.3)."""
+        self.counters.clear()
+        self.sketch.reset()
+        self.bloom.reset()
+        self.sampler.advance_epoch()
+        self.resets += 1
+
+    @property
+    def sram_bytes(self) -> int:
+        return (self.counters.sram_bytes + self.sketch.sram_bytes +
+                self.bloom.sram_bytes)

@@ -1,0 +1,22 @@
+"""Storage substrate: hash table, sharded store, partitioning, server node,
+and the coherence shim."""
+
+from repro.kvstore.chained import ChainedHashTable
+from repro.kvstore.hashtable import HashTable
+from repro.kvstore.partition import HashPartitioner
+from repro.kvstore.server import StorageServer
+from repro.kvstore.shim import ServerShim
+from repro.kvstore.snapshot import clone_store, load_store, save_store
+from repro.kvstore.store import KVStore
+
+__all__ = [
+    "ChainedHashTable",
+    "HashPartitioner",
+    "HashTable",
+    "KVStore",
+    "ServerShim",
+    "StorageServer",
+    "clone_store",
+    "load_store",
+    "save_store",
+]

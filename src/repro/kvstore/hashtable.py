@@ -1,0 +1,173 @@
+"""From-scratch open-addressing hash table.
+
+The paper's storage servers run "a simple (not optimized) in-memory key-value
+store with TommyDS" (§6).  TommyDS is a C library we cannot import, so we
+build the equivalent substrate: an open-addressing table with linear probing,
+tombstone deletion, and load-factor-driven resizing.  The storage server and
+the shim layer sit on top of this table rather than a Python ``dict`` so the
+substrate is genuinely implemented, testable, and instrumentable (probe-length
+statistics feed the server service-time model).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sketch.hashing import hash_bytes
+
+_EMPTY = 0
+_FULL = 1
+_TOMBSTONE = 2
+
+
+class HashTable:
+    """Open-addressing byte-string -> byte-string map with linear probing."""
+
+    MIN_CAPACITY = 8
+
+    def __init__(self, initial_capacity: int = 64, max_load: float = 0.7,
+                 seed: int = 0xDB):
+        if initial_capacity < 1:
+            raise ConfigurationError("initial_capacity must be >= 1")
+        if not 0.1 <= max_load < 1.0:
+            raise ConfigurationError("max_load must be in [0.1, 1)")
+        cap = self.MIN_CAPACITY
+        while cap < initial_capacity:
+            cap *= 2
+        self._capacity = cap
+        self._max_load = max_load
+        self._seed = seed
+        self._states: List[int] = [_EMPTY] * cap
+        self._keys: List[Optional[bytes]] = [None] * cap
+        self._values: List[Optional[bytes]] = [None] * cap
+        self._size = 0
+        self._occupied = 0  # FULL + TOMBSTONE
+        self.total_probes = 0
+        self.total_lookups = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _slot(self, key: bytes) -> int:
+        return hash_bytes(key, self._seed) & (self._capacity - 1)
+
+    def _find(self, key: bytes) -> Tuple[int, bool]:
+        """Return (slot, found).  If not found, slot is the insertion point
+        (first tombstone seen, else first empty)."""
+        idx = self._slot(key)
+        first_tombstone = -1
+        probes = 0
+        while True:
+            probes += 1
+            state = self._states[idx]
+            if state == _EMPTY:
+                self.total_probes += probes
+                self.total_lookups += 1
+                if first_tombstone >= 0:
+                    return first_tombstone, False
+                return idx, False
+            if state == _TOMBSTONE:
+                if first_tombstone < 0:
+                    first_tombstone = idx
+            elif self._keys[idx] == key:
+                self.total_probes += probes
+                self.total_lookups += 1
+                return idx, True
+            idx = (idx + 1) & (self._capacity - 1)
+
+    def _resize(self, new_capacity: int) -> None:
+        old = [
+            (self._keys[i], self._values[i])
+            for i in range(self._capacity)
+            if self._states[i] == _FULL
+        ]
+        self._capacity = new_capacity
+        self._states = [_EMPTY] * new_capacity
+        self._keys = [None] * new_capacity
+        self._values = [None] * new_capacity
+        self._size = 0
+        self._occupied = 0
+        for key, value in old:
+            self.put(key, value)
+
+    def _maybe_grow(self) -> None:
+        if self._occupied + 1 > int(self._capacity * self._max_load):
+            # Double if genuinely full; same size rebuild clears tombstones.
+            if self._size + 1 > int(self._capacity * self._max_load * 0.75):
+                self._resize(self._capacity * 2)
+            else:
+                self._resize(self._capacity)
+
+    # -- public API ------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        """Insert or overwrite; returns True if the key was new."""
+        self._maybe_grow()
+        idx, found = self._find(key)
+        if found:
+            self._values[idx] = value
+            return False
+        if self._states[idx] != _TOMBSTONE:
+            self._occupied += 1
+        self._states[idx] = _FULL
+        self._keys[idx] = key
+        self._values[idx] = value
+        self._size += 1
+        return True
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the value or None."""
+        idx, found = self._find(key)
+        return self._values[idx] if found else None
+
+    def delete(self, key: bytes) -> bool:
+        """Remove the key; returns True if it was present."""
+        idx, found = self._find(key)
+        if not found:
+            return False
+        self._states[idx] = _TOMBSTONE
+        self._keys[idx] = None
+        self._values[idx] = None
+        self._size -= 1
+        return True
+
+    def contains(self, key: bytes) -> bool:
+        _, found = self._find(key)
+        return found
+
+    def items(self) -> Iterator[Tuple[bytes, bytes]]:
+        for i in range(self._capacity):
+            if self._states[i] == _FULL:
+                yield self._keys[i], self._values[i]
+
+    def keys(self) -> Iterator[bytes]:
+        for k, _ in self.items():
+            yield k
+
+    def clear(self) -> None:
+        self._capacity = self.MIN_CAPACITY
+        self._states = [_EMPTY] * self._capacity
+        self._keys = [None] * self._capacity
+        self._values = [None] * self._capacity
+        self._size = 0
+        self._occupied = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / self._capacity
+
+    def mean_probe_length(self) -> float:
+        """Average probes per lookup since construction (diagnostic)."""
+        if not self.total_lookups:
+            return 0.0
+        return self.total_probes / self.total_lookups
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.contains(key)

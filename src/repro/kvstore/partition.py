@@ -1,0 +1,64 @@
+"""Hash partitioning of the key space across storage servers.
+
+The paper assumes key-value items are hash-partitioned to the storage
+servers (§3); clients compute the partition themselves and address the owning
+server directly (§4.1), so the partitioner is shared by clients, servers, and
+the simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError, PartitionError
+from repro.sketch.hashing import hash_bytes
+
+PARTITION_SEED = 0x5EED
+
+
+class HashPartitioner:
+    """Maps keys to one of N partitions and partitions to server node ids."""
+
+    def __init__(self, server_ids: Sequence[int], seed: int = PARTITION_SEED):
+        if not server_ids:
+            raise ConfigurationError("need at least one server")
+        if len(set(server_ids)) != len(server_ids):
+            raise ConfigurationError("server ids must be unique")
+        self.server_ids: List[int] = list(server_ids)
+        self.seed = seed
+        self._index_of: Dict[int, int] = {
+            sid: i for i, sid in enumerate(self.server_ids)
+        }
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.server_ids)
+
+    def partition_of(self, key: bytes) -> int:
+        """Partition index in [0, N) that owns *key*."""
+        return hash_bytes(key, self.seed) % self.num_partitions
+
+    def server_for(self, key: bytes) -> int:
+        """Node id of the server that owns *key*."""
+        return self.server_ids[self.partition_of(key)]
+
+    def owns(self, server_id: int, key: bytes) -> bool:
+        """True if *server_id* is the owner of *key*."""
+        idx = self._index_of.get(server_id)
+        if idx is None:
+            raise PartitionError(f"{server_id} is not a storage server")
+        return self.partition_of(key) == idx
+
+    def partition_index(self, server_id: int) -> int:
+        """Partition index served by *server_id*."""
+        idx = self._index_of.get(server_id)
+        if idx is None:
+            raise PartitionError(f"{server_id} is not a storage server")
+        return idx
+
+    def split_keys(self, keys: Sequence[bytes]) -> Dict[int, List[bytes]]:
+        """Group *keys* by owning partition index (load-analysis helper)."""
+        out: Dict[int, List[bytes]] = {i: [] for i in range(self.num_partitions)}
+        for key in keys:
+            out[self.partition_of(key)].append(key)
+        return out

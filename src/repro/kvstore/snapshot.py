@@ -1,0 +1,96 @@
+"""Store snapshots: dump and restore a server's contents.
+
+The paper's servers are volatile (in-memory, no replication — §5 notes
+fault tolerance is out of scope), but experiment setups benefit from
+persistable state: load a 10^6-item data set once, snapshot it, and restore
+it per run instead of regenerating.  The format is length-prefixed binary::
+
+    magic "NCSS" | version u8=1 | count u64
+    repeat count: key_len u16 | key | value_len u32 | value
+
+Snapshots are backend-agnostic (they capture key-value pairs, not table
+layout) and verify a checksum on restore.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Union
+
+from repro.errors import PacketFormatError
+from repro.kvstore.store import KVStore
+from repro.sketch.hashing import hash_bytes
+
+_MAGIC = b"NCSS"
+_HEAD = struct.Struct("!4sBQ")
+_KLEN = struct.Struct("!H")
+_VLEN = struct.Struct("!I")
+_SUM = struct.Struct("!Q")
+
+
+def save_store(store: KVStore, path: Union[str, Path]) -> int:
+    """Write every item of *store* to *path*; returns items written."""
+    items = []
+    for shard in store._shards:
+        items.extend(shard.items())
+    checksum = 0
+    with open(path, "wb") as fh:
+        fh.write(_HEAD.pack(_MAGIC, 1, len(items)))
+        for key, value in items:
+            fh.write(_KLEN.pack(len(key)) + key)
+            fh.write(_VLEN.pack(len(value)) + value)
+            checksum ^= hash_bytes(key, 1) ^ hash_bytes(value, 2)
+        fh.write(_SUM.pack(checksum & 0xFFFFFFFFFFFFFFFF))
+    return len(items)
+
+
+def load_store(path: Union[str, Path], store: KVStore) -> int:
+    """Restore a snapshot into *store* (on top of existing contents);
+    returns items loaded.  Raises on corruption."""
+    with open(path, "rb") as fh:
+        head = fh.read(_HEAD.size)
+        try:
+            magic, version, count = _HEAD.unpack(head)
+        except struct.error as exc:
+            raise PacketFormatError("truncated snapshot header") from exc
+        if magic != _MAGIC:
+            raise PacketFormatError("not a store snapshot")
+        if version != 1:
+            raise PacketFormatError(f"unsupported snapshot version {version}")
+        checksum = 0
+        for _ in range(count):
+            kraw = fh.read(_KLEN.size)
+            try:
+                (klen,) = _KLEN.unpack(kraw)
+                key = fh.read(klen)
+                (vlen,) = _VLEN.unpack(fh.read(_VLEN.size))
+                value = fh.read(vlen)
+            except struct.error as exc:
+                raise PacketFormatError("truncated snapshot entry") from exc
+            if len(key) != klen or len(value) != vlen:
+                raise PacketFormatError("truncated snapshot entry")
+            store.put(key, value)
+            checksum ^= hash_bytes(key, 1) ^ hash_bytes(value, 2)
+        tail = fh.read(_SUM.size)
+        try:
+            (expected,) = _SUM.unpack(tail)
+        except struct.error as exc:
+            raise PacketFormatError("missing snapshot checksum") from exc
+        if expected != checksum & 0xFFFFFFFFFFFFFFFF:
+            raise PacketFormatError("snapshot checksum mismatch")
+    return count
+
+
+def clone_store(store: KVStore, num_cores: int = None,
+                backend: str = None) -> KVStore:
+    """In-memory copy, optionally onto a different sharding/backend."""
+    clone = KVStore(
+        num_cores=num_cores if num_cores is not None else store.num_cores,
+        max_value_size=store.max_value_size,
+        backend=backend if backend is not None else store.backend,
+    )
+    for shard in store._shards:
+        for key, value in shard.items():
+            clone.put(key, value)
+    return clone

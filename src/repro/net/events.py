@@ -1,0 +1,105 @@
+"""Discrete-event core: a monotonic event queue.
+
+A tiny, dependency-free event scheduler.  Events are (time, priority, seq)
+ordered; *seq* breaks ties so simultaneous events run in schedule order,
+which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Callback = Callable[..., None]
+
+
+class Event:
+    """A scheduled callback.  Cancelled events stay in the heap but are
+    skipped on pop (lazy deletion)."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callback, args: Tuple[Any, ...]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of running it."""
+        self.cancelled = True
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+
+class EventQueue:
+    """Heap-based future event list with a current-time clock."""
+
+    def __init__(self):
+        self._heap: List[Tuple[Tuple[float, int, int], Event]] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def schedule(self, delay: float, callback: Callback, *args: Any,
+                 priority: int = 0) -> Event:
+        """Schedule *callback(*args)* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        ev = Event(self.now + delay, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, (ev.sort_key(), ev))
+        return ev
+
+    def schedule_at(self, when: float, callback: Callback, *args: Any,
+                    priority: int = 0) -> Event:
+        """Schedule at an absolute time (must not precede the clock)."""
+        return self.schedule(when - self.now, callback, *args, priority=priority)
+
+    def step(self) -> bool:
+        """Run the next pending event; returns False when the queue is empty."""
+        while self._heap:
+            _, ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self.now:
+                raise SimulationError("event queue went backwards in time")
+            self.now = ev.time
+            ev.callback(*ev.args)
+            self.processed += 1
+            return True
+        return False
+
+    def run_until(self, t_end: float) -> None:
+        """Run events with time <= *t_end*, then advance the clock to it."""
+        while self._heap:
+            key, ev = self._heap[0]
+            if ev.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if key[0] > t_end:
+                break
+            self.step()
+        if t_end > self.now:
+            self.now = t_end
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue (optionally bounded); returns events processed."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    def __len__(self) -> int:
+        return sum(1 for _, ev in self._heap if not ev.cancelled)
+
+    def empty(self) -> bool:
+        return len(self) == 0

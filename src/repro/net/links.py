@@ -1,0 +1,86 @@
+"""Point-to-point links with latency, optional rate limits, and fault
+injection.
+
+A :class:`Link` connects exactly two endpoints.  Delivery applies propagation
+latency plus (if a rate is configured) store-and-forward serialization with a
+FIFO; a seeded loss process supports the paper's reliability mechanisms
+(e.g. the retry loop for switch cache updates, §4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class Link:
+    """A bidirectional link between two node ids.
+
+    Parameters
+    ----------
+    a, b:
+        Endpoint node ids.
+    latency:
+        One-way propagation delay in seconds.
+    rate_pps:
+        Optional packet-rate limit (packets/second).  When set, packets
+        serialize: each transmission occupies ``1/rate_pps`` seconds per
+        direction.
+    loss_prob:
+        Probability a transmission is silently dropped.
+    seed:
+        Seed for the loss process (deterministic runs).
+    """
+
+    def __init__(self, a: int, b: int, latency: float = 2e-6,
+                 rate_pps: Optional[float] = None, loss_prob: float = 0.0,
+                 seed: int = 0):
+        if a == b:
+            raise ConfigurationError("link endpoints must differ")
+        if latency < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if rate_pps is not None and rate_pps <= 0:
+            raise ConfigurationError("rate_pps must be positive")
+        if not 0.0 <= loss_prob < 1.0:
+            raise ConfigurationError("loss_prob must be in [0, 1)")
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.rate_pps = rate_pps
+        self.loss_prob = loss_prob
+        self._rng = random.Random(seed ^ (a * 0x9E37 + b))
+        # Next free transmission slot per direction, keyed by source id.
+        self._next_free = {a: 0.0, b: 0.0}
+        self.transmitted = 0
+        self.dropped = 0
+
+    def other(self, node: int) -> int:
+        """Return the endpoint opposite *node*."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ConfigurationError(f"node {node} is not on this link")
+
+    def delivery_delay(self, src: int, now: float) -> Optional[float]:
+        """Compute the delay from *now* until delivery, or None if dropped.
+
+        Advances the per-direction serialization clock, so calling this is a
+        transmission attempt, not a pure query.
+        """
+        if self.loss_prob and self._rng.random() < self.loss_prob:
+            self.dropped += 1
+            return None
+        delay = self.latency
+        if self.rate_pps is not None:
+            slot = max(self._next_free[src], now)
+            service = 1.0 / self.rate_pps
+            self._next_free[src] = slot + service
+            delay = (slot - now) + service + self.latency
+        self.transmitted += 1
+        return delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.a}<->{self.b}, {self.latency*1e6:.1f}us)"

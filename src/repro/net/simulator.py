@@ -1,0 +1,153 @@
+"""Discrete-event network simulator.
+
+Ties together the event queue, links, and nodes.  A :class:`Node` is anything
+with a ``node_id`` and a ``handle_packet(sim, pkt)`` method; the NetCache
+switch, storage servers, clients, and the controller are all nodes.
+
+The simulator is intentionally small: nodes hand packets to
+:meth:`Simulator.transmit` naming the neighbour to deliver to (nodes know
+their attachment: clients/servers know their ToR; switches map ports to
+neighbours).  Loss and serialization happen on links.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.events import Event, EventQueue
+from repro.net.links import Link
+from repro.net.packet import Packet
+
+
+class Node:
+    """Base class for simulated endpoints and switches."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.sim: Optional["Simulator"] = None
+
+    def attach(self, sim: "Simulator") -> None:
+        """Called by the simulator when the node is added."""
+        self.sim = sim
+
+    def start(self) -> None:
+        """Hook called when the simulation starts (schedule initial events)."""
+
+    def handle_packet(self, pkt: Packet) -> None:  # pragma: no cover - abstract
+        """Receive a delivered packet."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(id={self.node_id})"
+
+
+class Simulator:
+    """Owns the clock, the nodes, and the links between them."""
+
+    def __init__(self):
+        self.events = EventQueue()
+        self.nodes: Dict[int, Node] = {}
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self.delivered = 0
+        self.lost = 0
+        self._started = False
+        #: observers called as fn(time, src_id, dst_id, pkt) on delivery
+        #: (tracing/debugging; see repro.net.trace).
+        self.delivery_hooks: List[Callable] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.node_id in self.nodes:
+            raise ConfigurationError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+        node.attach(self)
+        return node
+
+    def add_link(self, link: Link) -> Link:
+        key = self._link_key(link.a, link.b)
+        if key in self._links:
+            raise ConfigurationError(f"duplicate link {link.a}<->{link.b}")
+        for end in (link.a, link.b):
+            if end not in self.nodes:
+                raise ConfigurationError(f"link endpoint {end} is not a node")
+        self._links[key] = link
+        return link
+
+    def connect(self, a: int, b: int, **link_kwargs) -> Link:
+        """Convenience: create and register a link between nodes a and b."""
+        return self.add_link(Link(a, b, **link_kwargs))
+
+    @staticmethod
+    def _link_key(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def link_between(self, a: int, b: int) -> Link:
+        link = self._links.get(self._link_key(a, b))
+        if link is None:
+            raise SimulationError(f"no link between {a} and {b}")
+        return link
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Node ids directly linked to *node_id*."""
+        out = []
+        for (a, b) in self._links:
+            if a == node_id:
+                out.append(b)
+            elif b == node_id:
+                out.append(a)
+        return out
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.events.now
+
+    def schedule(self, delay: float, callback: Callable, *args,
+                 priority: int = 0) -> Event:
+        return self.events.schedule(delay, callback, *args, priority=priority)
+
+    # -- transmission ---------------------------------------------------------
+
+    def transmit(self, src_id: int, dst_id: int, pkt: Packet) -> bool:
+        """Send *pkt* from node *src_id* to directly-connected *dst_id*.
+
+        Returns False if the link's loss process dropped the packet.
+        """
+        link = self.link_between(src_id, dst_id)
+        delay = link.delivery_delay(src_id, self.now)
+        if delay is None:
+            self.lost += 1
+            return False
+        self.events.schedule(delay, self._deliver, src_id, dst_id, pkt)
+        return True
+
+    def _deliver(self, src_id: int, dst_id: int, pkt: Packet) -> None:
+        node = self.nodes.get(dst_id)
+        if node is None:
+            raise SimulationError(f"delivery to unknown node {dst_id}")
+        self.delivered += 1
+        pkt.last_hop = src_id
+        for hook in self.delivery_hooks:
+            hook(self.now, src_id, dst_id, pkt)
+        node.handle_packet(pkt)
+
+    # -- running ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every node's start hook (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in list(self.nodes.values()):
+            node.start()
+
+    def run_until(self, t_end: float) -> None:
+        self.start()
+        self.events.run_until(t_end)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        self.start()
+        return self.events.run(max_events=max_events)

@@ -1,0 +1,123 @@
+"""Topology plans: node-id layout and wiring for the evaluated clusters.
+
+NetCache targets a rack: clients above the ToR, storage servers below it
+(Fig 2a).  The scalability experiment (Fig 10f) extends this to a two-tier
+leaf-spine fabric with 32 racks.  A *plan* allocates node ids and lists the
+links; :mod:`repro.sim.cluster` instantiates the concrete node objects and
+hands the plan to the simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class NodeIdAllocator:
+    """Hands out unique small-integer node ids (they map to 10.0.x.y)."""
+
+    def __init__(self, start: int = 1):
+        self._counter = itertools.count(start)
+
+    def take(self) -> int:
+        return next(self._counter)
+
+    def take_many(self, n: int) -> List[int]:
+        return [next(self._counter) for _ in range(n)]
+
+
+@dataclasses.dataclass
+class RackPlan:
+    """One storage rack: clients -- ToR switch -- servers.
+
+    ``server_ports``/``client_ports`` give the switch-port number for each
+    neighbour; ports index into the ToR's port->neighbour map and determine
+    which egress pipe serves a cached value (§4.4.4).
+    """
+
+    tor_id: int
+    server_ids: List[int]
+    client_ids: List[int]
+
+    @property
+    def server_ports(self) -> Dict[int, int]:
+        """server node id -> ToR port (downlinks occupy low port numbers)."""
+        return {sid: port for port, sid in enumerate(self.server_ids)}
+
+    @property
+    def client_ports(self) -> Dict[int, int]:
+        """client node id -> ToR port (uplinks follow the downlinks)."""
+        base = len(self.server_ids)
+        return {cid: base + i for i, cid in enumerate(self.client_ids)}
+
+    def links(self) -> Iterator[Tuple[int, int]]:
+        """(a, b) pairs for every cable in the rack."""
+        for sid in self.server_ids:
+            yield (self.tor_id, sid)
+        for cid in self.client_ids:
+            yield (self.tor_id, cid)
+
+
+def make_rack_plan(num_servers: int, num_clients: int = 1,
+                   alloc: NodeIdAllocator = None) -> RackPlan:
+    """Allocate ids for a single rack."""
+    if num_servers <= 0 or num_clients <= 0:
+        raise ConfigurationError("rack needs at least one server and client")
+    alloc = alloc or NodeIdAllocator()
+    tor = alloc.take()
+    servers = alloc.take_many(num_servers)
+    clients = alloc.take_many(num_clients)
+    return RackPlan(tor_id=tor, server_ids=servers, client_ids=clients)
+
+
+@dataclasses.dataclass
+class LeafSpinePlan:
+    """Multi-rack fabric: every leaf (ToR) connects to every spine.
+
+    Clients attach to the spine tier (queries enter from the datacenter
+    fabric), matching the Fig 10(f) simulation setup.
+    """
+
+    spine_ids: List[int]
+    racks: List[RackPlan]
+    client_ids: List[int]
+
+    @property
+    def all_server_ids(self) -> List[int]:
+        return [sid for rack in self.racks for sid in rack.server_ids]
+
+    def rack_of_server(self, server_id: int) -> RackPlan:
+        for rack in self.racks:
+            if server_id in rack.server_ids:
+                return rack
+        raise ConfigurationError(f"server {server_id} is in no rack")
+
+    def links(self) -> Iterator[Tuple[int, int]]:
+        for rack in self.racks:
+            for sid in rack.server_ids:
+                yield (rack.tor_id, sid)
+            for spine in self.spine_ids:
+                yield (spine, rack.tor_id)
+        for i, cid in enumerate(self.client_ids):
+            # Spread clients round-robin over spines.
+            yield (self.spine_ids[i % len(self.spine_ids)], cid)
+
+
+def make_leaf_spine_plan(num_racks: int, servers_per_rack: int,
+                         num_spines: int = 2, num_clients: int = 1,
+                         alloc: NodeIdAllocator = None) -> LeafSpinePlan:
+    """Allocate ids for a leaf-spine fabric of storage racks."""
+    if num_racks <= 0 or num_spines <= 0:
+        raise ConfigurationError("fabric needs racks and spines")
+    alloc = alloc or NodeIdAllocator()
+    spines = alloc.take_many(num_spines)
+    racks = []
+    for _ in range(num_racks):
+        tor = alloc.take()
+        servers = alloc.take_many(servers_per_rack)
+        racks.append(RackPlan(tor_id=tor, server_ids=servers, client_ids=[]))
+    clients = alloc.take_many(num_clients)
+    return LeafSpinePlan(spine_ids=spines, racks=racks, client_ids=clients)

@@ -1,0 +1,208 @@
+"""Cluster assembly: build a runnable NetCache rack in the simulator.
+
+Wires Fig 2(a): clients above the ToR, storage servers below it, the
+NetCache switch in between, and the controller beside the switch.  Scaled
+configurations (fewer servers, lower rates) keep discrete-event runs
+tractable; the scale-free experiments use :mod:`repro.sim.ratesim` instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.client.api import NetCacheClient, SyncClient, WorkloadClient
+from repro.client.ratecontrol import AimdRateController
+from repro.client.workload import Workload, WorkloadSpec
+from repro.constants import (
+    DEFAULT_CACHE_ITEMS,
+    LINK_LATENCY,
+    SERVER_RATE,
+)
+from repro.core.controller import CacheController
+from repro.core.switch import NetCacheSwitch, PlainSwitch
+from repro.errors import ConfigurationError
+from repro.kvstore.partition import HashPartitioner
+from repro.kvstore.server import StorageServer
+from repro.net.simulator import Simulator
+from repro.net.topology import make_rack_plan
+
+
+@dataclasses.dataclass
+class ClusterConfig:
+    """Parameters of one simulated rack."""
+
+    num_servers: int = 16
+    num_clients: int = 1
+    server_rate: float = SERVER_RATE
+    server_queue_limit: Optional[int] = None
+    cache_items: int = DEFAULT_CACHE_ITEMS
+    enable_cache: bool = True  # False builds the NoCache baseline rack
+    link_latency: float = LINK_LATENCY
+    link_loss: float = 0.0
+    #: lookup-table entries and per-pipe value slots for the switch model;
+    #: small defaults keep tests fast, the microbenchmark uses full size.
+    lookup_entries: int = 16 * 1024
+    value_slots: int = 16 * 1024
+    num_pipes: int = 2
+    controller_update_interval: float = 0.01
+    stats_interval: float = 1.0
+    hot_threshold: int = 8
+    sample_rate: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_servers <= 0 or self.num_clients <= 0:
+            raise ConfigurationError("need at least one server and client")
+
+
+class Cluster:
+    """One assembled rack: simulator + switch + servers + clients."""
+
+    def __init__(self, config: ClusterConfig = ClusterConfig()):
+        self.config = config
+        self.sim = Simulator()
+        plan = make_rack_plan(config.num_servers, config.num_clients)
+        self.plan = plan
+        self.partitioner = HashPartitioner(plan.server_ids)
+
+        if config.enable_cache:
+            from repro.core.stats import QueryStatistics
+
+            stats = QueryStatistics(
+                entries=config.lookup_entries,
+                hot_threshold=config.hot_threshold,
+                sample_rate=config.sample_rate,
+                seed=config.seed,
+            )
+            self.switch: PlainSwitch = NetCacheSwitch(
+                plan.tor_id,
+                num_pipes=config.num_pipes,
+                ports_per_pipe=max(1, (config.num_servers + config.num_clients)
+                                   // config.num_pipes + 1),
+                entries=config.lookup_entries,
+                value_slots=config.value_slots,
+                stats=stats,
+            )
+        else:
+            self.switch = PlainSwitch(plan.tor_id)
+        self.sim.add_node(self.switch)
+
+        self.servers: Dict[int, StorageServer] = {}
+        for sid in plan.server_ids:
+            server = StorageServer(
+                sid, gateway=plan.tor_id, service_rate=config.server_rate,
+                queue_limit=config.server_queue_limit,
+            )
+            self.sim.add_node(server)
+            self.servers[sid] = server
+
+        self.clients: List[NetCacheClient] = []
+        for cid in plan.client_ids:
+            client = NetCacheClient(cid, gateway=plan.tor_id,
+                                    partitioner=self.partitioner)
+            self.sim.add_node(client)
+            self.clients.append(client)
+
+        # Cables + switch port bindings.
+        for sid, port in plan.server_ports.items():
+            self.sim.connect(plan.tor_id, sid, latency=config.link_latency,
+                             loss_prob=config.link_loss, seed=config.seed)
+            self.switch.attach_neighbor(port, sid)
+        for cid, port in plan.client_ports.items():
+            self.sim.connect(plan.tor_id, cid, latency=config.link_latency,
+                             loss_prob=config.link_loss, seed=config.seed)
+            self.switch.attach_neighbor(port, cid)
+
+        self.controller: Optional[CacheController] = None
+        if config.enable_cache:
+            self.controller = CacheController(
+                self.switch, self.partitioner, self.servers,
+                cache_capacity=config.cache_items,
+                stats_interval=config.stats_interval,
+                update_interval=config.controller_update_interval,
+                seed=config.seed,
+            )
+
+    # -- setup helpers -------------------------------------------------------------
+
+    def load_workload_data(self, workload: Workload) -> None:
+        """Preload every item into its owning server's store."""
+        spec = workload.spec
+        for item in range(spec.num_keys):
+            key = workload.keyspace.key(item)
+            server = self.servers[self.partitioner.server_for(key)]
+            server.store.put(key, workload.value_for(key))
+
+    def warm_cache(self, workload: Workload,
+                   items: Optional[int] = None) -> int:
+        """Pre-populate the cache with the hottest items (§7.4)."""
+        if self.controller is None:
+            return 0
+        count = items if items is not None else self.config.cache_items
+        return self.controller.preload(workload.hottest_keys(count))
+
+    def start_controller(self) -> None:
+        if self.controller is not None:
+            self.controller.start()
+
+    def sync_client(self, index: int = 0, timeout: float = 1.0) -> SyncClient:
+        """Blocking client facade for scripts/tests."""
+        return SyncClient(self.clients[index], timeout=timeout)
+
+    def add_workload_client(self, workload: Workload, rate: float,
+                            aimd: bool = False,
+                            control_interval: float = 0.1) -> WorkloadClient:
+        """Attach an open-loop load generator as an extra client node."""
+        node_id = max(self.sim.nodes) + 1
+        controller = None
+        if aimd:
+            controller = AimdRateController(initial_rate=rate,
+                                            max_rate=rate * 100)
+        client = WorkloadClient(node_id, gateway=self.plan.tor_id,
+                                partitioner=self.partitioner,
+                                workload=workload, rate=rate,
+                                controller=controller,
+                                control_interval=control_interval)
+        self.sim.add_node(client)
+        self.sim.connect(self.plan.tor_id, node_id,
+                         latency=self.config.link_latency)
+        port = max(self.plan.client_ports.values()) + 1 + len(
+            [c for c in self.clients if isinstance(c, WorkloadClient)])
+        self.switch.attach_neighbor(port, node_id)
+        self.clients.append(client)
+        return client
+
+    # -- measurement -----------------------------------------------------------------
+
+    def run(self, seconds: float) -> None:
+        self.sim.run_until(self.sim.now + seconds)
+
+    def total_received(self) -> int:
+        return sum(c.received for c in self.clients)
+
+    def total_cache_hits(self) -> int:
+        return sum(c.cache_hits for c in self.clients)
+
+    def all_latencies(self) -> List[float]:
+        out: List[float] = []
+        for c in self.clients:
+            out.extend(c.latencies)
+        return out
+
+
+def make_cluster(num_servers: int = 16, enable_cache: bool = True,
+                 **overrides) -> Cluster:
+    """Convenience constructor with keyword overrides."""
+    config = ClusterConfig(num_servers=num_servers,
+                           enable_cache=enable_cache, **overrides)
+    return Cluster(config)
+
+
+def default_workload(num_keys: int = 10_000, skew: float = 0.99,
+                     write_ratio: float = 0.0, seed: int = 0,
+                     value_size: int = 128) -> Workload:
+    """A paper-style workload with small defaults for DES runs."""
+    return Workload(WorkloadSpec(num_keys=num_keys, read_skew=skew,
+                                 write_ratio=write_ratio, seed=seed,
+                                 value_size=value_size))

@@ -1,0 +1,47 @@
+"""Runtime measurement helpers for discrete-event runs."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class ThroughputMeter:
+    """Counts completions into fixed-width time bins.
+
+    Attach to a client (or anything that can call :meth:`record`) to get a
+    per-interval delivered-throughput series — what Fig 11 plots.
+    """
+
+    def __init__(self, bin_width: float = 0.1):
+        if bin_width <= 0:
+            raise ConfigurationError("bin_width must be positive")
+        self.bin_width = bin_width
+        self._bins: List[int] = []
+
+    def record(self, time: float, count: int = 1) -> None:
+        idx = int(time / self.bin_width)
+        if idx >= len(self._bins):
+            self._bins.extend([0] * (idx + 1 - len(self._bins)))
+        self._bins[idx] += count
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(bin start time, queries/second) pairs."""
+        return [
+            (i * self.bin_width, count / self.bin_width)
+            for i, count in enumerate(self._bins)
+        ]
+
+    def rates(self) -> List[float]:
+        return [count / self.bin_width for count in self._bins]
+
+    def rebinned(self, factor: int) -> List[float]:
+        """Average consecutive bins (the paper shows 1 s and 10 s curves)."""
+        if factor <= 0:
+            raise ConfigurationError("factor must be positive")
+        out = []
+        for i in range(0, len(self._bins), factor):
+            chunk = self._bins[i : i + factor]
+            out.append(sum(chunk) / (len(chunk) * self.bin_width))
+        return out

@@ -1,0 +1,156 @@
+"""Multi-rack scaling simulation (§5 "Scaling to multiple racks", Fig 10f).
+
+The paper simulates scaling NetCache from one rack to 32 racks (4 096
+servers) under three designs:
+
+* **NoCache** — hash-partitioned servers only; the hottest server bottlenecks
+  the whole system, so throughput barely grows with more servers;
+* **Leaf-Cache** — each ToR caches the hottest items *of its own rack*.
+  Racks are internally balanced, but "the load imbalance between racks still
+  exists": queries to a rack's hot items still converge on that rack, and the
+  rack's ingress capacity (its uplinks / upstream pipes) is fixed, so the
+  hottest rack saturates while others idle;
+* **Leaf-Spine-Cache** — spine switches additionally cache the globally
+  hottest items, absorbing inter-rack skew before it reaches any rack;
+  throughput grows linearly with servers.
+
+This follows the paper's simulation assumptions: read-only workload and
+switch caches that fully absorb queries to the items they hold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.constants import PIPE_RATE, SERVER_RATE
+from repro.client.zipf import ZipfDistribution
+from repro.errors import ConfigurationError
+from repro.sim.ratesim import fast_partition_vector
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingConfig:
+    """Parameters of the Fig 10(f) sweep."""
+
+    servers_per_rack: int = 128
+    num_keys: int = 1_000_000
+    skew: float = 0.99
+    server_rate: float = SERVER_RATE
+    #: items each ToR can absorb for its rack.
+    leaf_cache_items: int = 10_000
+    #: globally-hottest items the spine tier absorbs.
+    spine_cache_items: int = 10_000
+    #: a rack's ingress capacity: two upstream egress pipes' worth of
+    #: replies (the single-rack plateau of Fig 10c).
+    rack_uplink_rate: float = 2 * PIPE_RATE
+    partition_seed: int = 0x5EED
+
+    def __post_init__(self):
+        if self.servers_per_rack <= 0 or self.num_keys <= 0:
+            raise ConfigurationError("rack and key space must be non-empty")
+
+
+@dataclasses.dataclass
+class ScalingPoint:
+    """One (design, rack count) result."""
+
+    design: str
+    num_racks: int
+    num_servers: int
+    throughput: float
+
+
+def _layout(num_racks: int, config: ScalingConfig):
+    """(per-item probs, item -> server, item -> rack)."""
+    num_servers = num_racks * config.servers_per_rack
+    dist = ZipfDistribution(config.num_keys, config.skew)
+    part = fast_partition_vector(config.num_keys, num_servers,
+                                 config.partition_seed)
+    racks = part // config.servers_per_rack
+    return dist.probs, part, racks, num_servers
+
+
+def nocache_throughput(num_racks: int,
+                       config: ScalingConfig = ScalingConfig()) -> float:
+    """Saturated throughput without any cache (hottest server binds)."""
+    probs, part, _racks, num_servers = _layout(num_racks, config)
+    per_server = np.bincount(part, weights=probs, minlength=num_servers)
+    return float(config.server_rate / per_server.max())
+
+
+def _leaf_residual(probs: np.ndarray, racks: np.ndarray, num_racks: int,
+                   items_per_leaf: int) -> np.ndarray:
+    """Per-item server-bound load after each ToR absorbs its rack's top
+    items."""
+    residual = probs.copy()
+    for rack in range(num_racks):
+        items = np.flatnonzero(racks == rack)
+        if items.size == 0:
+            continue
+        hot = items[np.argsort(residual[items])[::-1][:items_per_leaf]]
+        residual[hot] = 0.0
+    return residual
+
+
+def leaf_cache_throughput(num_racks: int,
+                          config: ScalingConfig = ScalingConfig()) -> float:
+    """ToR caches only: intra-rack balance, inter-rack imbalance remains.
+
+    Two constraints per rack: (i) its servers carry the residual (uncached)
+    load, evenly because the leaf cache balanced the rack; (ii) *all* of the
+    rack's query replies — cache hits included — leave through the rack's
+    fixed-capacity uplinks, so the rack with the most total demand binds.
+    """
+    probs, _part, racks, _ = _layout(num_racks, config)
+    residual = _leaf_residual(probs, racks, num_racks,
+                              config.leaf_cache_items)
+    rack_demand = np.bincount(racks, weights=probs, minlength=num_racks)
+    rack_residual = np.bincount(racks, weights=residual, minlength=num_racks)
+
+    bounds = [config.rack_uplink_rate / rack_demand.max()]
+    per_server_worst = rack_residual.max() / config.servers_per_rack
+    if per_server_worst > 0:
+        bounds.append(config.server_rate / per_server_worst)
+    return float(min(bounds))
+
+
+def leaf_spine_throughput(num_racks: int,
+                          config: ScalingConfig = ScalingConfig()) -> float:
+    """Spine + ToR caches: the spine absorbs the globally hottest items, so
+    no single rack concentrates demand and throughput scales linearly."""
+    probs, _part, racks, _ = _layout(num_racks, config)
+    after_spine = probs.copy()
+    order = np.argsort(probs)[::-1]
+    after_spine[order[: config.spine_cache_items]] = 0.0
+    residual = _leaf_residual(after_spine, racks, num_racks,
+                              config.leaf_cache_items)
+    rack_demand = np.bincount(racks, weights=after_spine, minlength=num_racks)
+    rack_residual = np.bincount(racks, weights=residual, minlength=num_racks)
+
+    bounds = []
+    if rack_demand.max() > 0:
+        bounds.append(config.rack_uplink_rate / rack_demand.max())
+    per_server_worst = rack_residual.max() / config.servers_per_rack
+    if per_server_worst > 0:
+        bounds.append(config.server_rate / per_server_worst)
+    if not bounds:
+        raise ConfigurationError("caches absorbed the entire workload")
+    return float(min(bounds))
+
+
+def sweep(rack_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+          config: ScalingConfig = ScalingConfig()) -> List[ScalingPoint]:
+    """Run all three designs over *rack_counts* (the Fig 10f series)."""
+    points: List[ScalingPoint] = []
+    for racks in rack_counts:
+        n = racks * config.servers_per_rack
+        points.append(ScalingPoint("NoCache", racks, n,
+                                   nocache_throughput(racks, config)))
+        points.append(ScalingPoint("Leaf-Cache", racks, n,
+                                   leaf_cache_throughput(racks, config)))
+        points.append(ScalingPoint("Leaf-Spine-Cache", racks, n,
+                                   leaf_spine_throughput(racks, config)))
+    return points

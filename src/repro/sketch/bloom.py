@@ -1,0 +1,84 @@
+"""Bloom filter (Broder & Mitzenmacher 2004).
+
+NetCache places a Bloom filter after the Count-Min sketch so each uncached
+hot key is reported to the controller only once per statistics interval
+(§4.4.3).  The prototype uses 3 register arrays of 256K 1-bit slots.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sketch.hashing import HashFamily
+
+
+class BloomFilter:
+    """A classic Bloom filter over byte-string keys.
+
+    Parameters
+    ----------
+    bits:
+        Slots per register array (each array holds one hash function's bits,
+        as on the switch where each array is in its own stage).
+    num_hashes:
+        Number of hash functions / register arrays.
+    seed:
+        Base seed for the hash family.
+    """
+
+    def __init__(self, bits: int = 256 * 1024, num_hashes: int = 3, seed: int = 1):
+        if bits <= 0:
+            raise ConfigurationError("bits must be positive")
+        if num_hashes <= 0:
+            raise ConfigurationError("num_hashes must be positive")
+        self.bits = bits
+        self.num_hashes = num_hashes
+        self._hashes = HashFamily(num_hashes, seed=seed)
+        self._arrays = [bytearray(bits) for _ in range(num_hashes)]
+        self.inserted = 0
+
+    def add(self, key: bytes) -> bool:
+        """Insert *key*; return True if it was (probably) already present.
+
+        The switch performs test-and-set in one pass: each register array
+        reads the old bit and writes 1.  The key was present iff every old
+        bit was already set.
+        """
+        present = True
+        for row in range(self.num_hashes):
+            idx = self._hashes.index(row, key, self.bits)
+            arr = self._arrays[row]
+            if not arr[idx]:
+                present = False
+                arr[idx] = 1
+        if not present:
+            self.inserted += 1
+        return present
+
+    def contains(self, key: bytes) -> bool:
+        """Membership test without inserting."""
+        return all(
+            self._arrays[row][self._hashes.index(row, key, self.bits)]
+            for row in range(self.num_hashes)
+        )
+
+    def reset(self) -> None:
+        """Clear all bits (done at every statistics reset)."""
+        for arr in self._arrays:
+            for i in range(len(arr)):
+                arr[i] = 0
+        self.inserted = 0
+
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM consumed by the filter (1 bit per slot)."""
+        return self.num_hashes * self.bits // 8
+
+    def false_positive_rate(self) -> float:
+        """Analytic false-positive probability at the current fill level."""
+        # Each hash has its own array of `bits` slots, so the per-row fill is
+        # inserted / bits, and the FP probability is the product of per-row
+        # hit probabilities.
+        import math
+
+        per_row = 1.0 - math.exp(-self.inserted / self.bits)
+        return per_row ** self.num_hashes

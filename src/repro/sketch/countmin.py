@@ -1,0 +1,98 @@
+"""Count-Min sketch (Cormode & Muthukrishnan 2005).
+
+The NetCache data plane uses a Count-Min sketch with 4 register arrays of
+64K 16-bit slots to estimate query frequencies of *uncached* keys (§4.4.3).
+Counters saturate at the 16-bit maximum rather than wrapping, mirroring the
+switch's saturating-add ALU behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.sketch.hashing import HashFamily
+
+
+class CountMinSketch:
+    """A Count-Min sketch with saturating fixed-width counters.
+
+    Parameters
+    ----------
+    width:
+        Number of slots per row (register array length).
+    depth:
+        Number of rows (independent hash functions / register arrays).
+    counter_bits:
+        Counter width in bits; counts saturate at ``2**counter_bits - 1``.
+    seed:
+        Base seed for the hash family.
+    """
+
+    def __init__(
+        self,
+        width: int = 64 * 1024,
+        depth: int = 4,
+        counter_bits: int = 16,
+        seed: int = 0,
+    ):
+        if width <= 0 or depth <= 0:
+            raise ConfigurationError("width and depth must be positive")
+        if not 1 <= counter_bits <= 64:
+            raise ConfigurationError("counter_bits must be in [1, 64]")
+        self.width = width
+        self.depth = depth
+        self.counter_bits = counter_bits
+        self.max_count = (1 << counter_bits) - 1
+        self._hashes = HashFamily(depth, seed=seed)
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.total_updates = 0
+
+    # -- updates ---------------------------------------------------------
+
+    def update(self, key: bytes, count: int = 1) -> int:
+        """Add *count* to the key's counters; return the new estimate.
+
+        This matches the data-plane behaviour where the increment and the
+        hot-key comparison happen in the same pipeline pass.
+        """
+        estimate = self.max_count
+        for row, idxs in enumerate(self._hashes.indexes(key, self.width)):
+            cell = min(self.max_count, self._rows[row][idxs] + count)
+            self._rows[row][idxs] = cell
+            if cell < estimate:
+                estimate = cell
+        self.total_updates += count
+        return estimate
+
+    def estimate(self, key: bytes) -> int:
+        """Return the (over-)estimate of the key's count without updating."""
+        return min(
+            self._rows[row][idx]
+            for row, idx in enumerate(self._hashes.indexes(key, self.width))
+        )
+
+    def reset(self) -> None:
+        """Clear all counters (controller does this every second, §4.4.3)."""
+        for row in self._rows:
+            for i in range(len(row)):
+                row[i] = 0
+        self.total_updates = 0
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def sram_bytes(self) -> int:
+        """SRAM consumed by the sketch's register arrays."""
+        return self.depth * self.width * self.counter_bits // 8
+
+    def row_load(self, row: int) -> float:
+        """Fraction of nonzero slots in *row* (diagnostic)."""
+        cells = self._rows[row]
+        return sum(1 for c in cells if c) / len(cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.depth}, "
+            f"counter_bits={self.counter_bits})"
+        )

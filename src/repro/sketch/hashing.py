@@ -1,0 +1,98 @@
+"""Deterministic seeded hash functions.
+
+The Tofino ASIC provides hardware hash units that compute "random XORing of
+bits of the key field" (§6).  We substitute a software mixer in the spirit of
+xxHash/splitmix64: fast, deterministic, and with independent streams selected
+by seed.  All sketch and partitioning code in the library routes through this
+module so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+_MASK64 = (1 << 64) - 1
+
+# splitmix64 constants
+_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 finalizer."""
+    x = (x + _GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def hash_bytes(data: bytes, seed: int = 0) -> int:
+    """Hash *data* to a 64-bit integer using stream *seed*.
+
+    Independent seeds give (empirically) independent hash functions, which is
+    what the Count-Min sketch analysis requires.
+    """
+    h = _splitmix64(seed ^ (len(data) * _GAMMA & _MASK64))
+    # Consume 8-byte words.
+    n = len(data)
+    i = 0
+    while i + 8 <= n:
+        word = int.from_bytes(data[i : i + 8], "little")
+        h = _splitmix64(h ^ word)
+        i += 8
+    if i < n:
+        tail = int.from_bytes(data[i:], "little")
+        h = _splitmix64(h ^ tail)
+    return h
+
+
+def hash_key(key: bytes, seed: int = 0, modulus: int = 0) -> int:
+    """Hash a key; if *modulus* is positive, reduce into ``[0, modulus)``."""
+    h = hash_bytes(key, seed)
+    if modulus > 0:
+        return h % modulus
+    return h
+
+
+class HashFamily:
+    """A family of independent hash functions indexed by row.
+
+    Used by the Count-Min sketch (4 rows) and Bloom filter (3 hashes).  Each
+    row *i* of a family with base seed ``s`` uses stream ``splitmix64(s + i)``
+    so distinct families never share streams.
+    """
+
+    def __init__(self, num_hashes: int, seed: int = 0):
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_hashes = num_hashes
+        self.seed = seed
+        self._seeds: List[int] = [_splitmix64(seed + i) for i in range(num_hashes)]
+
+    def indexes(self, key: bytes, modulus: int) -> List[int]:
+        """Return one index in ``[0, modulus)`` per hash function."""
+        return [hash_bytes(key, s) % modulus for s in self._seeds]
+
+    def index(self, row: int, key: bytes, modulus: int) -> int:
+        """Return the index for a single *row* of the family."""
+        return hash_bytes(key, self._seeds[row]) % modulus
+
+    def __len__(self) -> int:
+        return self.num_hashes
+
+
+def fingerprint(key: bytes, bits: int = 32, seed: int = 0xF1F1) -> int:
+    """Short fingerprint of a key (used for collision checks in hashed-key
+    mode, §5 "Restricted key-value interface")."""
+    if not 0 < bits <= 64:
+        raise ValueError("bits must be in (0, 64]")
+    return hash_bytes(key, seed) >> (64 - bits)
+
+
+def combined_hash(parts: Iterable[bytes], seed: int = 0) -> int:
+    """Hash a sequence of byte strings order-sensitively."""
+    h = _splitmix64(seed)
+    for part in parts:
+        h = _splitmix64(h ^ hash_bytes(part, seed))
+    return h

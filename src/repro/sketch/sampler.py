@@ -1,0 +1,76 @@
+"""Query sampler.
+
+NetCache places a sampling component in front of the statistics module
+(§4.4.3): only sampled queries update the per-key counters and the Count-Min
+sketch.  Sampling acts as a high-pass filter, letting small (16-bit) counters
+survive high line rates, and its rate is configurable by the controller.
+
+The switch implementation would sample by comparing a hardware RNG against a
+threshold; we use a deterministic counter-based or seeded-pseudorandom
+strategy so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.sketch.hashing import hash_bytes
+
+
+class PacketSampler:
+    """Bernoulli sampler with a controller-configurable rate.
+
+    Two modes are provided:
+
+    * ``mode="random"`` — seeded pseudorandom Bernoulli trials, matching a
+      hardware RNG.
+    * ``mode="hash"`` — sample based on a hash of (key, epoch).  This is
+      deterministic per key per epoch, which makes the statistics module's
+      behaviour reproducible under test while remaining unbiased across keys.
+    """
+
+    def __init__(self, rate: float = 1.0, seed: int = 7, mode: str = "random"):
+        if mode not in ("random", "hash"):
+            raise ConfigurationError(f"unknown sampler mode: {mode!r}")
+        self.mode = mode
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._epoch = 0
+        self.set_rate(rate)
+        self.observed = 0
+        self.sampled = 0
+
+    def set_rate(self, rate: float) -> None:
+        """Set the sampling probability (controller API)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("sample rate must be in [0, 1]")
+        self.rate = rate
+        # Precompute the 64-bit threshold for hash mode.
+        self._threshold = int(rate * float(1 << 64))
+
+    def advance_epoch(self) -> None:
+        """Advance the hash-mode epoch (called on statistics reset)."""
+        self._epoch += 1
+
+    def sample(self, key: bytes) -> bool:
+        """Return True if this query should be counted by the statistics."""
+        self.observed += 1
+        if self.rate >= 1.0:
+            self.sampled += 1
+            return True
+        if self.rate <= 0.0:
+            return False
+        if self.mode == "random":
+            hit = self._rng.random() < self.rate
+        else:
+            h = hash_bytes(key, self._seed ^ (self._epoch * 0x9E37))
+            hit = h < self._threshold
+        if hit:
+            self.sampled += 1
+        return hit
+
+    def reset_stats(self) -> None:
+        """Zero the observed/sampled counters (not the rate)."""
+        self.observed = 0
+        self.sampled = 0

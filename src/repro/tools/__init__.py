@@ -1,0 +1,5 @@
+"""Command-line tooling (``netcache-repro``)."""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

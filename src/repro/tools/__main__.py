@@ -1,0 +1,7 @@
+"""Allow ``python -m repro.tools`` as an alias for the CLI."""
+
+import sys
+
+from repro.tools.cli import main
+
+sys.exit(main())

@@ -1,0 +1,220 @@
+"""Command-line interface: regenerate experiments and inspect the system.
+
+Installed as ``netcache-repro`` (see pyproject), or run as
+``python -m repro.tools.cli``::
+
+    netcache-repro figure 10a          # print one figure's table
+    netcache-repro figure all          # every static figure
+    netcache-repro dynamics hot-in     # a Fig 11 trace
+    netcache-repro resources           # the §6 SRAM report
+    netcache-repro validate            # DES vs model cross-check
+    netcache-repro demo                # tiny end-to-end walkthrough
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.sim import experiments as exp
+
+
+def _print(title: str, body: str) -> None:
+    print(f"\n{title}\n{'=' * len(title)}\n{body}")
+
+
+# -- figure runners -------------------------------------------------------------
+
+def _fig09a():
+    rows = exp.fig09a_value_size()
+    return exp.format_table(
+        ["value_bytes", "read_BQPS", "passes"],
+        [[r.x, r.read_bqps, r.pipeline_passes] for r in rows])
+
+
+def _fig09b():
+    rows = exp.fig09b_cache_size()
+    return exp.format_table(
+        ["cache_items", "read_BQPS"], [[r.x, r.read_bqps] for r in rows])
+
+
+def _fig10a():
+    rows = exp.fig10a_throughput()
+    return exp.format_table(
+        ["workload", "NoCache_BQPS", "NetCache_BQPS", "improvement"],
+        [[r.workload, r.nocache_bqps, r.netcache_bqps, r.improvement]
+         for r in rows])
+
+
+def _fig10b():
+    rows = exp.fig10b_breakdown()
+    return exp.format_table(
+        ["workload", "system", "max/mean"],
+        [[r.workload, "NetCache" if r.cached else "NoCache", r.imbalance]
+         for r in rows])
+
+
+def _fig10d():
+    rows = exp.fig10d_write_ratio()
+    return exp.format_table(
+        ["write_dist", "write_ratio", "NoCache_BQPS", "NetCache_BQPS"],
+        [[r.write_dist, r.write_ratio, r.nocache_bqps, r.netcache_bqps]
+         for r in rows])
+
+
+def _fig10e():
+    rows = exp.fig10e_cache_size()
+    return exp.format_table(
+        ["zipf", "cache_items", "total_BQPS"],
+        [[r.skew, r.cache_items, r.throughput_bqps] for r in rows])
+
+
+def _fig10f():
+    points = exp.fig10f_scalability()
+    return exp.format_table(
+        ["design", "racks", "BQPS"],
+        [[p.design, p.num_racks, p.throughput / 1e9] for p in points])
+
+
+FIGURES = {
+    "9a": ("Fig 9(a) throughput vs value size", _fig09a),
+    "9b": ("Fig 9(b) throughput vs cache size", _fig09b),
+    "10a": ("Fig 10(a) throughput under skew", _fig10a),
+    "10b": ("Fig 10(b) per-server imbalance", _fig10b),
+    "10d": ("Fig 10(d) write ratio", _fig10d),
+    "10e": ("Fig 10(e) cache size", _fig10e),
+    "10f": ("Fig 10(f) multi-rack scaling", _fig10f),
+}
+
+
+# -- subcommands ------------------------------------------------------------------
+
+def cmd_figure(args) -> int:
+    which = list(FIGURES) if args.id == "all" else [args.id]
+    unknown = [f for f in which if f not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(FIGURES)} or 'all'", file=sys.stderr)
+        return 2
+    for fig in which:
+        title, runner = FIGURES[fig]
+        _print(title, runner())
+    return 0
+
+
+def cmd_dynamics(args) -> int:
+    result = exp.fig11_dynamics(args.kind, duration=args.duration)
+    per_second = result.rebinned(1.0)
+    body = exp.format_table(
+        ["second", "tput_MQPS"],
+        [[i, v / 1e6] for i, v in enumerate(per_second)])
+    _print(f"Fig 11 dynamics: {args.kind}", body)
+    summary = exp.dynamics_summary(result)
+    print(f"steady {summary['steady'] / 1e6:.2f} MQPS, "
+          f"worst dip {summary['worst_dip']:.0%} of steady")
+    return 0
+
+
+def cmd_resources(_args) -> int:
+    from repro.core.resources import paper_prototype_report
+
+    _print("Switch SRAM footprint (§6 geometry)",
+           paper_prototype_report().render())
+    return 0
+
+
+def cmd_validate(_args) -> int:
+    from repro.analysis.validation import drive_at
+
+    ok = True
+    for cache in (True, False):
+        name = "NetCache" if cache else "NoCache"
+        at = drive_at(1.0, enable_cache=cache)
+        above = drive_at(1.6, enable_cache=cache)
+        feasible = at.delivery_ratio > 0.95
+        tight = above.delivery_ratio < 0.95
+        ok &= feasible and tight
+        print(f"{name}: model predicts {at.model_throughput:,.0f} qps; "
+              f"DES delivers {at.delivery_ratio:.1%} of it at 1.0x "
+              f"({'ok' if feasible else 'MISMATCH'}), "
+              f"{above.delivery_ratio:.1%} at 1.6x "
+              f"({'ok' if tight else 'MISMATCH'})")
+    print("cross-validation", "PASSED" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def cmd_demo(_args) -> int:
+    from repro.sim.cluster import default_workload, make_cluster
+
+    cluster = make_cluster(num_servers=4, cache_items=16,
+                           lookup_entries=256, value_slots=256)
+    workload = default_workload(num_keys=200, skew=0.99)
+    cluster.load_workload_data(workload)
+    cluster.warm_cache(workload, 16)
+    client = cluster.sync_client()
+    hot = workload.hottest_keys(1)[0]
+    print(f"GET {hot!r} -> {client.get(hot)[:12]!r}... (switch cache)")
+    client.put(hot, b"written-via-cli")
+    print(f"PUT then GET -> {client.get(hot)!r}")
+    dp = cluster.switch.dataplane
+    print(f"switch: {dp.cache_hits} hits / {dp.cache_misses} misses, "
+          f"{dp.invalidations} invalidations")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.tools.reportgen import generate
+
+    text = generate(full=args.full)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.output} ({len(text)} bytes)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="netcache-repro",
+        description="NetCache (SOSP 2017) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("id", help=f"one of {', '.join(FIGURES)} or 'all'")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_dyn = sub.add_parser("dynamics", help="run a Fig 11 churn scenario")
+    p_dyn.add_argument("kind", choices=["hot-in", "random", "hot-out"])
+    p_dyn.add_argument("--duration", type=float, default=30.0)
+    p_dyn.set_defaults(func=cmd_dynamics)
+
+    p_res = sub.add_parser("resources", help="print the §6 SRAM report")
+    p_res.set_defaults(func=cmd_resources)
+
+    p_val = sub.add_parser("validate",
+                           help="cross-check DES against the rate model")
+    p_val.set_defaults(func=cmd_validate)
+
+    p_demo = sub.add_parser("demo", help="tiny end-to-end walkthrough")
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_rep = sub.add_parser("report",
+                           help="generate a markdown results report")
+    p_rep.add_argument("--output", "-o", default=None,
+                       help="write to a file instead of stdout")
+    p_rep.add_argument("--full", action="store_true",
+                       help="include the slow packet-level experiments")
+    p_rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

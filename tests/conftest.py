@@ -1,0 +1,29 @@
+"""Shared fixtures: small-but-real cluster and workload instances."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, ClusterConfig, default_workload
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return default_workload(num_keys=400, skew=0.99, seed=1)
+
+
+@pytest.fixture()
+def small_cluster(small_workload):
+    """An 8-server rack with a warm 32-item cache and loaded stores."""
+    cluster = Cluster(ClusterConfig(
+        num_servers=8, cache_items=32, lookup_entries=512, value_slots=512,
+        seed=1,
+    ))
+    cluster.load_workload_data(small_workload)
+    cluster.warm_cache(small_workload, 32)
+    return cluster
+
+
+@pytest.fixture()
+def nocache_cluster(small_workload):
+    cluster = Cluster(ClusterConfig(num_servers=8, enable_cache=False, seed=1))
+    cluster.load_workload_data(small_workload)
+    return cluster

@@ -1,0 +1,76 @@
+"""Tests for batched multi-get / multi-put."""
+
+import pytest
+
+from repro.client.batch import BatchClient
+from repro.errors import ConfigurationError, SimulationError
+
+
+@pytest.fixture()
+def batcher(small_cluster):
+    return BatchClient(small_cluster.clients[0])
+
+
+class TestMultiGet:
+    def test_values_correct(self, batcher, small_workload):
+        keys = small_workload.hottest_keys(10)
+        result = batcher.multi_get(keys)
+        for key in keys:
+            assert result.values[key] == small_workload.value_for(key)
+
+    def test_cache_absorbs_hot_subset(self, batcher, small_workload):
+        hot = small_workload.hottest_keys(5)
+        cold = [small_workload.keyspace.key(
+            small_workload.popularity.item_at(r)) for r in (380, 385, 390)]
+        result = batcher.multi_get(hot + cold)
+        assert result.cache_hits == 5
+        assert result.hit_ratio == pytest.approx(5 / 8)
+
+    def test_batch_parallelism(self, batcher, small_workload):
+        # The makespan of a batch of misses spread across servers is far
+        # below the sum of individual latencies (requests overlap).
+        cold = [small_workload.keyspace.key(
+            small_workload.popularity.item_at(300 + i)) for i in range(20)]
+        result = batcher.multi_get(cold)
+        total = sum(result.latencies.values())
+        assert result.elapsed < 0.6 * total
+
+    def test_duplicate_keys_deduped(self, batcher, small_workload):
+        key = small_workload.hottest_keys(1)[0]
+        result = batcher.multi_get([key, key, key])
+        assert len(result.values) == 1
+
+    def test_missing_keys_yield_none(self, batcher):
+        result = batcher.multi_get([b"k" + b"8" * 15])
+        assert result.values[b"k" + b"8" * 15] is None
+
+    def test_empty_batch_rejected(self, batcher):
+        with pytest.raises(ConfigurationError):
+            batcher.multi_get([])
+
+    def test_timeout(self, small_cluster, small_workload):
+        batcher = BatchClient(small_cluster.clients[0], timeout=1e-9)
+        with pytest.raises(SimulationError):
+            batcher.multi_get(small_workload.hottest_keys(2))
+
+
+class TestMultiPut:
+    def test_all_writes_land(self, batcher, small_cluster, small_workload):
+        items = [(small_workload.keyspace.key(i), bytes([i + 1]) * 8)
+                 for i in range(10)]
+        makespan = batcher.multi_put(items)
+        assert makespan > 0
+        client = small_cluster.sync_client()
+        for key, value in items:
+            assert client.get(key) == value
+
+    def test_same_key_twice_serializes(self, batcher, small_cluster,
+                                       small_workload):
+        hot = small_workload.hottest_keys(1)[0]
+        batcher.multi_put([(hot, b"first-write"), (hot, b"final-write")])
+        small_cluster.run(0.05)
+        assert small_cluster.sync_client().get(hot) == b"final-write"
+
+    def test_empty_rejected(self, batcher):
+        with pytest.raises(ConfigurationError):
+            batcher.multi_put([])

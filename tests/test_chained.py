@@ -1,0 +1,106 @@
+"""Tests for the chained (TommyDS-style) hash table backend."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kvstore.chained import ChainedHashTable
+from repro.kvstore.store import KVStore
+
+
+class TestBasics:
+    def test_put_get_delete(self):
+        t = ChainedHashTable()
+        assert t.put(b"k", b"v") is True
+        assert t.get(b"k") == b"v"
+        assert t.put(b"k", b"w") is False
+        assert t.get(b"k") == b"w"
+        assert t.delete(b"k") is True
+        assert t.get(b"k") is None
+        assert t.delete(b"k") is False
+
+    def test_len_and_contains(self):
+        t = ChainedHashTable()
+        for i in range(50):
+            t.put(str(i).encode(), b"v")
+        assert len(t) == 50
+        assert b"7" in t and b"999" not in t
+
+    def test_items(self):
+        t = ChainedHashTable()
+        t.put(b"a", b"1")
+        t.put(b"b", b"2")
+        assert dict(t.items()) == {b"a": b"1", b"b": b"2"}
+
+    def test_clear(self):
+        t = ChainedHashTable()
+        t.put(b"a", b"1")
+        t.clear()
+        assert len(t) == 0 and t.get(b"a") is None
+
+
+class TestChaining:
+    def test_collision_chains_preserve_entries(self):
+        # Tiny table forces chains; all entries must stay reachable.
+        t = ChainedHashTable(initial_capacity=1, max_chain=1000.0)
+        keys = [f"key{i}".encode() for i in range(200)]
+        for k in keys:
+            t.put(k, k)
+        assert t.capacity == ChainedHashTable.MIN_BUCKETS  # never resized
+        assert t.max_chain_length() > 10
+        for k in keys:
+            assert t.get(k) == k
+
+    def test_delete_middle_of_chain(self):
+        t = ChainedHashTable(initial_capacity=1, max_chain=1000.0)
+        keys = [f"key{i}".encode() for i in range(20)]
+        for k in keys:
+            t.put(k, k)
+        for k in keys[::3]:
+            assert t.delete(k)
+        for i, k in enumerate(keys):
+            expected = None if i % 3 == 0 else k
+            assert t.get(k) == expected
+
+    def test_resize_bounds_chains(self):
+        t = ChainedHashTable(initial_capacity=8, max_chain=2.0)
+        for i in range(2000):
+            t.put(f"key{i}".encode(), b"v")
+        assert t.load_factor <= 2.0
+        assert t.max_chain_length() < 20  # whp with a decent hash
+
+    def test_probe_stats(self):
+        t = ChainedHashTable()
+        t.put(b"k", b"v")
+        t.get(b"k")
+        assert t.mean_probe_length() >= 1.0
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ChainedHashTable(initial_capacity=0)
+        with pytest.raises(ConfigurationError):
+            ChainedHashTable(max_chain=0)
+
+
+class TestStoreBackendSelection:
+    def test_chained_backend_works(self):
+        store = KVStore(num_cores=2, backend="chained")
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert store.backend == "chained"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KVStore(backend="btree")
+
+    def test_backends_agree(self):
+        a = KVStore(num_cores=2, backend="open")
+        b = KVStore(num_cores=2, backend="chained")
+        for i in range(300):
+            key, value = f"key{i}".encode(), f"val{i}".encode()
+            a.put(key, value)
+            b.put(key, value)
+        for i in range(0, 300, 7):
+            key = f"key{i}".encode()
+            assert a.get(key) == b.get(key)

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.tools.cli import FIGURES, build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dynamics_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dynamics", "tsunami"])
+
+
+class TestFigureCommand:
+    def test_single_figure(self, capsys):
+        assert main(["figure", "9a"]) == 0
+        out = capsys.readouterr().out
+        assert "value_bytes" in out and "2.24" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "99z"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_registry_complete(self):
+        assert set(FIGURES) == {"9a", "9b", "10a", "10b", "10d", "10e",
+                                "10f"}
+
+    def test_fig10a_output(self, capsys):
+        assert main(["figure", "10a"]) == 0
+        out = capsys.readouterr().out
+        assert "NoCache_BQPS" in out and "zipf-0.99" in out
+
+
+class TestOtherCommands:
+    def test_resources(self, capsys):
+        assert main(["resources"]) == 0
+        out = capsys.readouterr().out
+        assert "value_arrays" in out and "TOTAL" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "switch cache" in out and "invalidations" in out
+
+    def test_dynamics_short_run(self, capsys):
+        assert main(["dynamics", "hot-out", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "tput_MQPS" in out and "steady" in out
+
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 10(a)" in out and "| zipf-0.99 |" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("# NetCache reproduction")
+        assert "Fig 10(f)" in text and "TOTAL" in text

@@ -1,0 +1,61 @@
+"""Tests for latency summary statistics and the throughput meter."""
+
+import pytest
+
+from repro.analysis.distributions import (
+    fraction_below,
+    latency_summary,
+    normalized,
+    percentile,
+)
+from repro.errors import ConfigurationError
+from repro.sim.metrics import ThroughputMeter
+
+
+class TestSummaries:
+    def test_latency_summary_fields(self):
+        s = latency_summary([1.0, 2.0, 3.0, 4.0])
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["p50"] == pytest.approx(2.5)
+        assert s["max"] == 4.0 and s["count"] == 4
+
+    def test_percentile(self):
+        assert percentile(list(range(101)), 99) == pytest.approx(99.0)
+
+    def test_fraction_below(self):
+        assert fraction_below([1, 2, 3, 4], 3) == pytest.approx(0.5)
+
+    def test_normalized_peak_one(self):
+        out = normalized([2.0, 4.0, 1.0])
+        assert out.max() == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_summary([])
+        with pytest.raises(ConfigurationError):
+            fraction_below([], 1)
+
+
+class TestThroughputMeter:
+    def test_bins_accumulate(self):
+        meter = ThroughputMeter(bin_width=1.0)
+        meter.record(0.5)
+        meter.record(0.7)
+        meter.record(1.2)
+        assert meter.rates() == [2.0, 1.0]
+
+    def test_series_times(self):
+        meter = ThroughputMeter(bin_width=0.5)
+        meter.record(1.3)
+        series = meter.series()
+        assert series[-1] == (1.0, 2.0)
+
+    def test_rebinned(self):
+        meter = ThroughputMeter(bin_width=1.0)
+        for t in (0.1, 1.1, 2.1, 3.1):
+            meter.record(t)
+        assert meter.rebinned(2) == [1.0, 1.0]
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputMeter(bin_width=0)

@@ -1,0 +1,83 @@
+"""Tests for popularity churn (hot-in / random / hot-out)."""
+
+import pytest
+
+from repro.client.dynamics import ChurnSchedule, PopularityMap
+from repro.errors import ConfigurationError
+
+
+class TestPopularityMap:
+    def test_identity_at_start(self):
+        pm = PopularityMap(10)
+        assert pm.items_at(range(10)) == list(range(10))
+
+    def test_hot_in_promotes_coldest(self):
+        pm = PopularityMap(10)
+        promoted = pm.hot_in(3)
+        assert promoted == [7, 8, 9]
+        assert pm.top_items(3) == [7, 8, 9]
+        # Everyone else shifted down, order preserved.
+        assert pm.items_at(range(3, 10)) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_hot_out_demotes_hottest(self):
+        pm = PopularityMap(10)
+        demoted = pm.hot_out(2)
+        assert demoted == [0, 1]
+        assert pm.item_at(0) == 2
+        assert pm.items_at(range(8, 10)) == [0, 1]
+
+    def test_random_replace_swaps_hot_and_cold(self):
+        pm = PopularityMap(100, seed=5)
+        promoted = pm.random_replace(10, top_m=20)
+        assert len(promoted) == 10
+        # Promoted items came from outside the old top-20.
+        assert all(p >= 20 for p in promoted)
+        # Permutation is preserved.
+        assert sorted(pm.items_at(range(100))) == list(range(100))
+
+    def test_permutation_invariant_under_all_ops(self):
+        pm = PopularityMap(50, seed=2)
+        pm.hot_in(7)
+        pm.hot_out(3)
+        pm.random_replace(5, top_m=10)
+        assert sorted(pm.items_at(range(50))) == list(range(50))
+
+    def test_change_size_clamped(self):
+        pm = PopularityMap(5)
+        pm.hot_in(100)  # clamps to 5, a rotation
+        assert sorted(pm.items_at(range(5))) == list(range(5))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            PopularityMap(0)
+        with pytest.raises(ConfigurationError):
+            PopularityMap(10).hot_in(0)
+        with pytest.raises(ConfigurationError):
+            PopularityMap(10).random_replace(2, top_m=50)
+
+
+class TestChurnSchedule:
+    def test_hot_in_schedule(self):
+        pm = PopularityMap(1000)
+        sched = ChurnSchedule(pm, "hot-in", n=10, interval=10.0)
+        promoted = sched.apply_once()
+        assert len(promoted) == 10
+        assert sched.applied == 1
+
+    def test_hot_out_returns_no_promotions(self):
+        pm = PopularityMap(1000)
+        sched = ChurnSchedule(pm, "hot-out", n=10)
+        assert sched.apply_once() == []
+
+    def test_random_schedule(self):
+        pm = PopularityMap(1000, seed=1)
+        sched = ChurnSchedule(pm, "random", n=10, top_m=100)
+        assert len(sched.apply_once()) == 10
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule(PopularityMap(10), "tsunami")
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule(PopularityMap(10), "hot-in", interval=0)

@@ -1,0 +1,105 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.events import EventQueue
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(3.0, order.append, "c")
+        q.schedule(1.0, order.append, "a")
+        q.schedule(2.0, order.append, "b")
+        q.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        q = EventQueue()
+        order = []
+        for name in "abc":
+            q.schedule(1.0, order.append, name)
+        q.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, order.append, "low", priority=1)
+        q.schedule(1.0, order.append, "high", priority=0)
+        q.run()
+        assert order == ["high", "low"]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(2.5, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [2.5] and q.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_at(4.0, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [4.0]
+
+    def test_nested_scheduling(self):
+        q = EventQueue()
+        seen = []
+
+        def outer():
+            q.schedule(1.0, lambda: seen.append(q.now))
+
+        q.schedule(1.0, outer)
+        q.run()
+        assert seen == [2.0]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        seen = []
+        ev = q.schedule(1.0, seen.append, "x")
+        ev.cancel()
+        q.run()
+        assert seen == []
+
+    def test_len_ignores_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_boundary(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(1.0, seen.append, "early")
+        q.schedule(5.0, seen.append, "late")
+        q.run_until(2.0)
+        assert seen == ["early"] and q.now == 2.0
+        q.run_until(10.0)
+        assert seen == ["early", "late"]
+
+    def test_run_until_advances_clock_when_idle(self):
+        q = EventQueue()
+        q.run_until(7.0)
+        assert q.now == 7.0
+
+    def test_run_max_events(self):
+        q = EventQueue()
+        for _ in range(5):
+            q.schedule(1.0, lambda: None)
+        assert q.run(max_events=3) == 3
+        assert len(q) == 2

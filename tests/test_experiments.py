@@ -1,0 +1,102 @@
+"""Tests for the canned per-figure experiments (shapes, not absolutes)."""
+
+import pytest
+
+from repro.sim import experiments as exp
+
+
+@pytest.fixture(scope="module")
+def fig10a_rows():
+    return exp.fig10a_throughput(num_keys=100_000)
+
+
+class TestFig09:
+    def test_value_size_series_flat_then_drops(self):
+        rows = exp.fig09a_value_size(value_sizes=(64, 128, 256),
+                                     functional_check=False)
+        assert rows[0].read_bqps == rows[1].read_bqps
+        assert rows[2].read_bqps < rows[1].read_bqps
+        assert rows[2].pipeline_passes == 2
+
+    def test_cache_size_series_flat(self):
+        rows = exp.fig09b_cache_size(cache_sizes=(1024, 65536),
+                                     functional_check=False)
+        assert rows[0].read_bqps == rows[1].read_bqps
+
+
+class TestFig10a:
+    def test_netcache_beats_nocache_under_skew(self, fig10a_rows):
+        by_name = {r.workload: r for r in fig10a_rows}
+        for skewed in ("zipf-0.9", "zipf-0.95", "zipf-0.99"):
+            assert by_name[skewed].improvement > 3.0
+
+    def test_improvement_grows_with_skew(self, fig10a_rows):
+        imps = [r.improvement for r in fig10a_rows]
+        assert imps == sorted(imps)
+
+    def test_uniform_unaffected(self, fig10a_rows):
+        # Caching 10K of 100K uniform keys absorbs ~10% of queries; the
+        # paper's point is only that there is no big win to be had.
+        uniform = next(r for r in fig10a_rows if r.workload == "uniform")
+        assert uniform.improvement == pytest.approx(1.0, abs=0.15)
+
+    def test_portions_sum(self, fig10a_rows):
+        for r in fig10a_rows:
+            assert r.cache_portion_bqps + r.server_portion_bqps == \
+                pytest.approx(r.netcache_bqps, rel=1e-6)
+
+
+class TestFig10b:
+    def test_cache_flattens_servers(self):
+        rows = exp.fig10b_breakdown(num_keys=100_000)
+        by_key = {(r.workload, r.cached): r for r in rows}
+        for skew in ("zipf-0.9", "zipf-0.99"):
+            assert by_key[(skew, False)].imbalance > \
+                2 * by_key[(skew, True)].imbalance
+
+
+class TestFig10d:
+    def test_skewed_writes_erase_benefit(self):
+        rows = exp.fig10d_write_ratio(write_ratios=(0.0, 0.5),
+                                      num_keys=100_000)
+        skewed = [r for r in rows if r.write_dist == "zipf-0.99"]
+        assert skewed[0].netcache_bqps > 5 * skewed[0].nocache_bqps
+        assert skewed[1].netcache_bqps <= skewed[1].nocache_bqps * 1.05
+
+    def test_uniform_writes_converge_to_nocache(self):
+        rows = exp.fig10d_write_ratio(write_ratios=(1.0,), num_keys=100_000)
+        uniform = next(r for r in rows if r.write_dist == "uniform")
+        assert uniform.netcache_bqps == pytest.approx(uniform.nocache_bqps,
+                                                      rel=0.05)
+
+
+class TestFig10e:
+    def test_thousand_items_near_plateau(self):
+        rows = exp.fig10e_cache_size(cache_sizes=(10, 1_000, 65_536),
+                                     skews=(0.99,), num_keys=100_000)
+        t10, t1k, t64k = [r.throughput_bqps for r in rows]
+        assert t1k > t10
+        assert t64k <= t1k * 1.15  # diminishing returns past ~1000
+
+    def test_cache_portion_monotone(self):
+        rows = exp.fig10e_cache_size(cache_sizes=(10, 1_000, 65_536),
+                                     skews=(0.99,), num_keys=100_000)
+        portions = [r.cache_portion_bqps for r in rows]
+        assert portions == sorted(portions)
+
+
+class TestFormatting:
+    def test_format_table(self):
+        text = exp.format_table(["a", "b"], [[1, 2.5], ["x", 3.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "---" in lines[1].replace(" ", "-")
+
+    def test_dynamics_summary_shape(self):
+        from repro.sim.emulation import EmulationResult
+
+        res = EmulationResult(times=[0.0, 0.1], throughput=[10.0, 20.0],
+                              offered=[10.0, 25.0], cache_size=[1, 1],
+                              insertions=[0, 0], churn_times=[])
+        summary = exp.dynamics_summary(res)
+        assert summary["mean"] == pytest.approx(15.0)

@@ -1,0 +1,93 @@
+"""Tests for the packet-level leaf-spine fabric (§5 extension)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cluster import default_workload
+from repro.sim.fabric import Fabric, FabricConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return default_workload(num_keys=500, skew=0.99, seed=2)
+
+
+@pytest.fixture()
+def fabric(workload):
+    fab = Fabric(FabricConfig(num_racks=2, servers_per_rack=4,
+                              leaf_cache_items=16, spine_cache_items=16,
+                              seed=2))
+    fab.load_workload_data(workload)
+    fab.warm_caches(workload)
+    return fab
+
+
+class TestTiers:
+    def test_spine_serves_hottest(self, fabric, workload):
+        client = fabric.sync_client()
+        hot = workload.hottest_keys(1)[0]
+        assert client.get(hot) == workload.value_for(hot)
+        assert fabric.tier_hits()["spine"] == 1
+        assert fabric.tier_hits()["server"] == 0
+
+    def test_leaf_serves_second_tier(self, fabric, workload):
+        client = fabric.sync_client()
+        # Keys 17..48 went to the leaves (16 to the spine first).
+        leaf_key = workload.hottest_keys(30)[-1]
+        assert client.get(leaf_key) == workload.value_for(leaf_key)
+        hits = fabric.tier_hits()
+        assert hits["leaf"] == 1 and hits["spine"] == 0
+
+    def test_cold_keys_reach_servers(self, fabric, workload):
+        client = fabric.sync_client()
+        cold = workload.keyspace.key(workload.popularity.item_at(480))
+        assert client.get(cold) == workload.value_for(cold)
+        assert fabric.tier_hits()["server"] == 1
+
+    def test_spine_cache_disabled(self, workload):
+        fab = Fabric(FabricConfig(num_racks=2, servers_per_rack=4,
+                                  leaf_cache_items=16, spine_cache=False))
+        fab.load_workload_data(workload)
+        fab.warm_caches(workload)
+        client = fab.sync_client()
+        hot = workload.hottest_keys(1)[0]
+        assert client.get(hot) == workload.value_for(hot)
+        assert fab.tier_hits()["spine"] == 0
+        assert fab.tier_hits()["leaf"] == 1
+
+
+class TestCrossTierCoherence:
+    def test_write_to_spine_cached_key_never_serves_stale(self, fabric,
+                                                          workload):
+        client = fabric.sync_client()
+        hot = workload.hottest_keys(1)[0]
+        client.put(hot, b"NEW-VALUE")
+        # Spine entry is invalid now; reads must see the new value.
+        assert client.get(hot) == b"NEW-VALUE"
+        fabric.run(0.01)
+        assert client.get(hot) == b"NEW-VALUE"
+
+    def test_write_to_leaf_cached_key_revalidates_leaf(self, fabric,
+                                                       workload):
+        client = fabric.sync_client()
+        leaf_key = workload.hottest_keys(30)[-1]
+        client.put(leaf_key, b"LEAF-NEW")
+        fabric.run(0.01)  # let the data-plane update land
+        hits_before = fabric.tier_hits()["leaf"]
+        assert client.get(leaf_key) == b"LEAF-NEW"
+        assert fabric.tier_hits()["leaf"] == hits_before + 1
+
+    def test_delete_propagates(self, fabric, workload):
+        client = fabric.sync_client()
+        hot = workload.hottest_keys(1)[0]
+        client.delete(hot)
+        assert client.get(hot) is None
+
+
+class TestConfig:
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            FabricConfig(num_racks=0)
+
+    def test_partitions_cover_all_servers(self, fabric):
+        assert set(fabric.partitioner.server_ids) == set(fabric.servers)

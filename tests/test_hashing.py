@@ -1,0 +1,110 @@
+"""Tests for repro.sketch.hashing."""
+
+import pytest
+
+from repro.sketch.hashing import (
+    HashFamily,
+    combined_hash,
+    fingerprint,
+    hash_bytes,
+    hash_key,
+)
+
+
+class TestHashBytes:
+    def test_deterministic(self):
+        assert hash_bytes(b"abc") == hash_bytes(b"abc")
+
+    def test_seed_changes_value(self):
+        assert hash_bytes(b"abc", 1) != hash_bytes(b"abc", 2)
+
+    def test_different_inputs_differ(self):
+        assert hash_bytes(b"abc") != hash_bytes(b"abd")
+
+    def test_empty_input_ok(self):
+        assert isinstance(hash_bytes(b""), int)
+
+    def test_64_bit_range(self):
+        for data in (b"", b"x", b"hello world", bytes(100)):
+            h = hash_bytes(data)
+            assert 0 <= h < (1 << 64)
+
+    def test_length_extension_differs(self):
+        # Same prefix, trailing zero byte must change the hash.
+        assert hash_bytes(b"abc") != hash_bytes(b"abc\x00")
+
+    def test_word_boundary_inputs(self):
+        # 8-byte and 9-byte inputs exercise the tail path.
+        assert hash_bytes(b"12345678") != hash_bytes(b"123456789")
+
+    def test_avalanche(self):
+        # Single-bit flip should change about half the output bits.
+        a = hash_bytes(b"\x00" * 16)
+        b = hash_bytes(b"\x01" + b"\x00" * 15)
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+
+class TestHashKey:
+    def test_modulus_reduces(self):
+        for i in range(50):
+            assert 0 <= hash_key(str(i).encode(), modulus=7) < 7
+
+    def test_zero_modulus_full_range(self):
+        assert hash_key(b"abc", modulus=0) == hash_bytes(b"abc", 0)
+
+    def test_uniformity_rough(self):
+        buckets = [0] * 10
+        for i in range(5000):
+            buckets[hash_key(f"key{i}".encode(), modulus=10)] += 1
+        assert min(buckets) > 350  # expected 500 each
+
+
+class TestHashFamily:
+    def test_row_count(self):
+        fam = HashFamily(4, seed=3)
+        assert len(fam) == 4
+        assert len(fam.indexes(b"k", 100)) == 4
+
+    def test_rows_independent(self):
+        fam = HashFamily(4, seed=3)
+        idxs = fam.indexes(b"some-key", 1 << 30)
+        assert len(set(idxs)) == 4
+
+    def test_index_matches_indexes(self):
+        fam = HashFamily(3, seed=9)
+        all_idx = fam.indexes(b"k", 999)
+        for row in range(3):
+            assert fam.index(row, b"k", 999) == all_idx[row]
+
+    def test_families_with_different_seeds_disagree(self):
+        a = HashFamily(2, seed=1).indexes(b"k", 1 << 30)
+        b = HashFamily(2, seed=2).indexes(b"k", 1 << 30)
+        assert a != b
+
+    def test_zero_hashes_rejected(self):
+        with pytest.raises(ValueError):
+            HashFamily(0)
+
+
+class TestFingerprint:
+    def test_width(self):
+        assert 0 <= fingerprint(b"abc", bits=8) < 256
+
+    def test_full_width(self):
+        assert 0 <= fingerprint(b"abc", bits=64) < (1 << 64)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            fingerprint(b"abc", bits=0)
+        with pytest.raises(ValueError):
+            fingerprint(b"abc", bits=65)
+
+
+class TestCombinedHash:
+    def test_order_sensitive(self):
+        assert combined_hash([b"a", b"b"]) != combined_hash([b"b", b"a"])
+
+    def test_concatenation_differs(self):
+        # ["ab"] and ["a", "b"] must not collide by construction.
+        assert combined_hash([b"ab"]) != combined_hash([b"a", b"b"])

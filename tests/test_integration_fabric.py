@@ -1,0 +1,73 @@
+"""Integration: the leaf-spine fabric under sustained load, with the
+coherence monitor watching every packet."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coherence import CoherenceMonitor
+from repro.client.api import WorkloadClient
+from repro.sim.cluster import default_workload
+from repro.sim.fabric import Fabric, FabricConfig
+
+
+@pytest.fixture(scope="module")
+def loaded_fabric():
+    workload = default_workload(num_keys=2_000, skew=0.99, seed=9,
+                                write_ratio=0.05)
+    fabric = Fabric(FabricConfig(
+        num_racks=3, servers_per_rack=4, leaf_cache_items=32,
+        spine_cache_items=32, server_rate=20_000.0,
+        server_queue_limit=64, seed=9,
+    ))
+    fabric.load_workload_data(workload)
+    fabric.warm_caches(workload)
+    monitor = CoherenceMonitor(fabric.sim)
+    client = WorkloadClient(
+        node_id=max(fabric.sim.nodes) + 1,
+        gateway=fabric.plan.spine_ids[0],
+        partitioner=fabric.partitioner,
+        workload=workload, rate=100_000.0)
+    fabric.sim.add_node(client)
+    fabric.sim.connect(fabric.plan.spine_ids[0], client.node_id)
+    fabric.spine.attach_neighbor(99, client.node_id)
+    fabric.run(0.15)
+    return fabric, workload, monitor, client
+
+
+class TestFabricUnderLoad:
+    def test_most_queries_answered(self, loaded_fabric):
+        fabric, _, _, client = loaded_fabric
+        assert client.sent > 10_000
+        assert client.received > 0.85 * client.sent
+
+    def test_caches_absorb_majority(self, loaded_fabric):
+        fabric, _, _, client = loaded_fabric
+        hits = fabric.tier_hits()
+        absorbed = (hits["spine"] + hits["leaf"]) / client.received
+        assert absorbed > 0.4
+
+    def test_both_tiers_active(self, loaded_fabric):
+        fabric, _, _, _ = loaded_fabric
+        hits = fabric.tier_hits()
+        assert hits["spine"] > 0 and hits["leaf"] > 0
+
+    def test_coherent_under_mixed_load(self, loaded_fabric):
+        _, _, monitor, _ = loaded_fabric
+        assert monitor.reads_checked > 100
+        assert monitor.clean, monitor.violations[:3]
+
+    def test_server_load_spread_across_racks(self, loaded_fabric):
+        fabric, _, _, _ = loaded_fabric
+        per_rack = []
+        for rack in fabric.plan.racks:
+            per_rack.append(sum(fabric.servers[s].received
+                                for s in rack.server_ids))
+        per_rack = np.asarray(per_rack, float)
+        assert per_rack.min() > 0
+        assert per_rack.max() < 3 * per_rack.mean()
+
+    def test_no_stuck_coherence_state(self, loaded_fabric):
+        fabric, _, _, _ = loaded_fabric
+        fabric.run(0.1)  # drain
+        for server in fabric.servers.values():
+            assert server.shim.pending_updates == 0

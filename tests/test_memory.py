@@ -1,0 +1,157 @@
+"""Tests for Algorithm 2: switch memory management."""
+
+import pytest
+
+from repro.core.memory import SwitchMemoryManager
+from repro.core.primitives import popcount
+from repro.errors import ConfigurationError
+
+
+def manager(arrays=8, slots=16, slot_bytes=16):
+    return SwitchMemoryManager(num_arrays=arrays, slots_per_array=slots,
+                               slot_bytes=slot_bytes)
+
+
+class TestSlotsNeeded:
+    def test_exact_multiples(self):
+        m = manager()
+        assert m.slots_needed(16) == 1
+        assert m.slots_needed(128) == 8
+
+    def test_rounds_up(self):
+        m = manager()
+        assert m.slots_needed(17) == 2
+        assert m.slots_needed(1) == 1
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            manager().slots_needed(129)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            manager().slots_needed(0)
+
+
+class TestInsert:
+    def test_single_insert(self):
+        m = manager()
+        alloc = m.insert(b"k", 48)
+        assert alloc is not None
+        assert alloc.num_slots == 3
+        assert b"k" in m
+
+    def test_same_index_constraint(self):
+        # A value's slots all share one index (the hardware rule).
+        m = manager()
+        alloc = m.insert(b"k", 128)
+        assert alloc.num_slots == 8
+        assert alloc.bitmap == 0xFF
+
+    def test_duplicate_insert_refused(self):
+        m = manager()
+        m.insert(b"k", 16)
+        assert m.insert(b"k", 16) is None
+
+    def test_first_fit_prefers_low_indexes(self):
+        m = manager()
+        a = m.insert(b"a", 16)
+        b = m.insert(b"b", 16)
+        assert a.index == b.index == 0
+        assert a.bitmap != b.bitmap
+
+    def test_bin_spills_to_next_index(self):
+        m = manager(arrays=2)
+        m.insert(b"a", 32)  # fills bin 0
+        b = m.insert(b"b", 16)
+        assert b.index == 1
+
+    def test_full_memory_returns_none(self):
+        m = manager(arrays=1, slots=2)
+        assert m.insert(b"a", 16) is not None
+        assert m.insert(b"b", 16) is not None
+        assert m.insert(b"c", 16) is None
+
+    def test_mixed_sizes_pack_one_bin(self):
+        m = manager(arrays=8)
+        a = m.insert(b"a", 48)   # 3 slots
+        b = m.insert(b"b", 80)   # 5 slots
+        assert a.index == b.index == 0
+        assert popcount(a.bitmap | b.bitmap) == 8
+        assert a.bitmap & b.bitmap == 0
+
+
+class TestEvict:
+    def test_evict_frees_slots(self):
+        m = manager(arrays=1, slots=1)
+        m.insert(b"a", 16)
+        assert m.evict(b"a") is True
+        assert m.insert(b"b", 16) is not None
+
+    def test_evict_missing(self):
+        assert manager().evict(b"nope") is False
+
+    def test_evict_resets_scan_floor(self):
+        m = manager(arrays=1, slots=4)
+        for i in range(4):
+            m.insert(f"k{i}".encode(), 16)
+        m.evict(b"k0")
+        alloc = m.insert(b"new", 16)
+        assert alloc.index == 0  # reuses the freed low bin
+
+    def test_accounting(self):
+        m = manager(arrays=8, slots=4)
+        m.insert(b"a", 128)
+        assert m.used_slots == 8
+        assert m.free_slots == 8 * 4 - 8
+        m.evict(b"a")
+        assert m.used_slots == 0
+
+
+class TestDefragment:
+    def test_consolidates_for_large_value(self):
+        m = manager(arrays=8, slots=2)
+        # Interleave small values across both bins so no bin has 8 free.
+        for i in range(8):
+            m.insert(f"k{i}".encode(), 32)  # 2 slots each: 16 slots total
+        for i in range(0, 8, 2):
+            m.evict(f"k{i}".encode())
+        assert m.free_slots == 8
+        assert m.insert(b"big", 128) is None  # fragmented
+        moves = m.defragment()
+        assert moves  # something had to move
+        assert m.insert(b"big", 128) is not None
+
+    def test_defragment_preserves_items(self):
+        m = manager(arrays=4, slots=4)
+        keys = [f"k{i}".encode() for i in range(6)]
+        for i, k in enumerate(keys):
+            m.insert(k, 16 * (1 + i % 3))
+        m.evict(keys[2])
+        m.defragment()
+        for k in keys:
+            if k != keys[2]:
+                assert k in m
+
+    def test_fragmentation_metric(self):
+        m = manager(arrays=8, slots=2)
+        assert m.fragmentation() == 0.0
+        for i in range(8):
+            m.insert(f"k{i}".encode(), 32)
+        for i in range(0, 8, 2):
+            m.evict(f"k{i}".encode())
+        assert m.fragmentation() > 0.0
+
+
+class TestConfig:
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            SwitchMemoryManager(num_arrays=0)
+        with pytest.raises(ConfigurationError):
+            SwitchMemoryManager(num_arrays=65)
+        with pytest.raises(ConfigurationError):
+            SwitchMemoryManager(slots_per_array=0)
+
+    def test_utilization(self):
+        m = manager(arrays=2, slots=2)
+        m.insert(b"a", 32)
+        assert m.utilization() == pytest.approx(0.5)

@@ -1,0 +1,80 @@
+"""Tests for the pipeline-layout compiler (§4.4.1 constraints)."""
+
+import pytest
+
+from repro.core.pipeline import (
+    PipelineGeometry,
+    ProgramGeometry,
+    compile_layout,
+)
+from repro.errors import ResourceExhaustedError
+
+
+class TestPaperGeometry:
+    def test_program_fits_default_chip(self):
+        layout = compile_layout()
+        assert layout.egress_stages_used() == 8  # §6: "spread across 8 stages"
+
+    def test_lookup_replicated_per_ingress_pipe(self):
+        layout = compile_layout()
+        names = [t.name for s in layout.ingress for t in s.tables]
+        assert "cache_lookup[pipe0]" in names
+        assert "cache_lookup[pipe1]" in names
+
+    def test_value_arrays_in_distinct_stages(self):
+        layout = compile_layout()
+        for stage in layout.egress:
+            values = [a for a in stage.arrays if a.name.startswith("value")]
+            assert len(values) <= 1
+
+    def test_cm_rows_in_distinct_stages(self):
+        layout = compile_layout()
+        for stage in layout.egress:
+            rows = [a for a in stage.arrays if a.name.startswith("cm_row")]
+            assert len(rows) <= 1
+
+    def test_report_renders(self):
+        text = compile_layout().report()
+        assert "cache_lookup" in text and "value7" in text
+
+
+class TestInfeasibleGeometries:
+    def test_too_few_egress_stages(self):
+        with pytest.raises(ResourceExhaustedError):
+            compile_layout(PipelineGeometry(egress_stages=4))
+
+    def test_too_little_stage_sram(self):
+        with pytest.raises(ResourceExhaustedError):
+            compile_layout(PipelineGeometry(stage_sram=256 * 1024))
+
+    def test_lookup_too_big_for_ingress(self):
+        with pytest.raises(ResourceExhaustedError):
+            compile_layout(program=ProgramGeometry(
+                lookup_entries=1024 * 1024))
+
+
+class TestScalingTheProgram:
+    def test_bigger_values_need_more_stages(self):
+        # The §5 wish: larger values per stage, or more stages.  Doubling
+        # the value stages (256-byte values) still fits a 12-stage chip...
+        layout = compile_layout(program=ProgramGeometry(value_stages=12))
+        assert layout.egress_stages_used() == 12
+        # ...but 16 stages of values cannot.
+        with pytest.raises(ResourceExhaustedError):
+            compile_layout(program=ProgramGeometry(value_stages=16))
+
+    def test_wider_slots_trade_stages_for_sram(self):
+        # The other §5 wish: "larger slots for register arrays so the chip
+        # can support larger values with fewer stages".  32-byte slots halve
+        # the stage count for 256-byte values.
+        program = ProgramGeometry(value_stages=8, slot_bytes=32,
+                                  value_slots=32 * 1024)
+        layout = compile_layout(program=program)
+        assert layout.egress_stages_used() == 8
+
+    def test_smaller_program_uses_fewer_stages(self):
+        program = ProgramGeometry(value_stages=4, value_slots=16 * 1024,
+                                  lookup_entries=16 * 1024,
+                                  cm_width=16 * 1024, bloom_bits=64 * 1024)
+        layout = compile_layout(program=program)
+        assert layout.egress_stages_used() <= 4

@@ -1,0 +1,126 @@
+"""Model-based property test for the data plane.
+
+Drives random interleavings of control-plane operations (install/evict) and
+data-plane packets (Get/Put/Delete/CacheUpdate) against a reference model of
+what the cache must do, checking after every step:
+
+* a Get is served by the switch iff the model says the key is cached AND
+  valid, and then with exactly the model's value;
+* a Put/Delete on a cached key is rewritten and invalidates;
+* a CacheUpdate applies iff its version is newer and the value fits;
+* control- and data-plane views of the cached key set never diverge.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dataplane import Action, NetCacheDataplane
+from repro.net.packet import make_cache_update, make_delete, make_get, make_put
+from repro.net.protocol import Op
+from repro.net.routing import RoutingTable
+
+CLIENT, SERVER = 100, 1
+KEYS = [f"propkey{i:09d}".encode() for i in range(6)]
+VALUES = [bytes([i + 1]) * (16 * (i + 1)) for i in range(6)]  # 16..96 B
+
+
+def build():
+    routing = RoutingTable()
+    routing.add_route(CLIENT, 9)
+    routing.add_route(SERVER, 0)
+    dp = NetCacheDataplane(routing, num_pipes=1, ports_per_pipe=16,
+                           entries=16, value_slots=64)
+    dp.stats.set_sample_rate(1.0)
+    return dp
+
+
+class Model:
+    """Reference semantics: key -> (value, valid, version)."""
+
+    def __init__(self):
+        self.entries = {}
+
+    def install(self, key, value):
+        self.entries[key] = {"value": value, "valid": True, "version": 0}
+
+    def evict(self, key):
+        self.entries.pop(key, None)
+
+    def invalidate(self, key):
+        if key in self.entries:
+            self.entries[key]["valid"] = False
+
+    def update(self, key, value, version):
+        entry = self.entries.get(key)
+        if entry is None:
+            return
+        # Data plane applies only same-or-smaller values with newer versions.
+        if len(value) <= self._capacity(entry) and version > entry["version"]:
+            entry.update(value=value, valid=True, version=version)
+
+    @staticmethod
+    def _capacity(entry):
+        # Allocation granularity: 16-byte slots sized at install time.
+        return -(-len(entry["value"]) // 16) * 16 if entry["value"] else 0
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("install"), st.integers(0, 5), st.integers(0, 5)),
+        st.tuples(st.just("evict"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("get"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("put"), st.integers(0, 5), st.integers(0, 5)),
+        st.tuples(st.just("delete"), st.integers(0, 5), st.just(0)),
+        st.tuples(st.just("update"), st.integers(0, 5), st.integers(0, 5)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops)
+def test_dataplane_matches_model(op_list):
+    dp = build()
+    model = Model()
+    version_counter = 0
+
+    for kind, key_idx, value_idx in op_list:
+        key = KEYS[key_idx]
+        value = VALUES[value_idx]
+        if kind == "install":
+            if not dp.is_cached(key):
+                if dp.install(key, value, egress_port=0):
+                    model.install(key, value)
+        elif kind == "evict":
+            assert dp.evict(key) == (key in model.entries)
+            model.evict(key)
+        elif kind == "get":
+            pkt = make_get(CLIENT, SERVER, key)
+            result = dp.process(pkt, 9)
+            entry = model.entries.get(key)
+            if entry is not None and entry["valid"]:
+                assert pkt.op == Op.GET_REPLY
+                assert pkt.value == entry["value"]
+                assert result.egress_port == 9  # mirrored to the client
+            else:
+                assert pkt.op == Op.GET
+                assert result.egress_port == 0  # forwarded to the server
+        elif kind in ("put", "delete"):
+            pkt = (make_put(CLIENT, SERVER, key, value) if kind == "put"
+                   else make_delete(CLIENT, SERVER, key))
+            dp.process(pkt, 9)
+            if key in model.entries:
+                assert pkt.op in (Op.PUT_CACHED, Op.DELETE_CACHED)
+                model.invalidate(key)
+            else:
+                assert pkt.op in (Op.PUT, Op.DELETE)
+        else:  # update
+            version_counter += 1 if value_idx % 2 else 0  # stale sometimes
+            pkt = make_cache_update(SERVER, SERVER, key, value,
+                                    seq=max(1, version_counter))
+            result = dp.process(pkt, 0)
+            assert result.action is Action.DROP
+            assert result.generated[0].packet.op == Op.CACHE_UPDATE_ACK
+            model.update(key, value, max(1, version_counter))
+
+        # Global invariant: identical cached-key sets.
+        assert set(dp.cached_keys()) == set(model.entries)

@@ -1,0 +1,63 @@
+"""Property-based tests: both hash-table backends behave exactly like a
+dict under arbitrary operation sequences."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kvstore.chained import ChainedHashTable
+from repro.kvstore.hashtable import HashTable
+
+keys = st.binary(min_size=1, max_size=12)
+values = st.binary(max_size=16)
+
+BACKENDS = [HashTable, ChainedHashTable]
+
+
+def ops():
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("put"), keys, values),
+            st.tuples(st.just("delete"), keys, st.just(b"")),
+            st.tuples(st.just("get"), keys, st.just(b"")),
+        ),
+        max_size=200,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=150, deadline=None)
+@given(op_list=ops())
+def test_matches_dict_semantics(backend, op_list):
+    table = backend(initial_capacity=8)
+    model = {}
+    for kind, key, value in op_list:
+        if kind == "put":
+            assert table.put(key, value) == (key not in model)
+            model[key] = value
+        elif kind == "delete":
+            assert table.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert table.get(key) == model.get(key)
+    assert len(table) == len(model)
+    assert dict(table.items()) == model
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=75, deadline=None)
+@given(key_set=st.sets(keys, max_size=100))
+def test_all_inserted_keys_retrievable(backend, key_set):
+    table = backend(initial_capacity=8)
+    for i, key in enumerate(sorted(key_set)):
+        table.put(key, str(i).encode())
+    for i, key in enumerate(sorted(key_set)):
+        assert table.get(key) == str(i).encode()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(keys, max_size=100))
+def test_load_factor_invariant(key_list):
+    table = HashTable(initial_capacity=8, max_load=0.7)
+    for key in key_list:
+        table.put(key, b"v")
+        assert table.load_factor <= 0.7 + 1e-9

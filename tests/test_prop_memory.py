@@ -1,0 +1,99 @@
+"""Property-based tests for Algorithm 2 (switch memory management).
+
+Invariants under arbitrary insert/evict interleavings:
+
+* no two live allocations overlap (same index + intersecting bitmaps);
+* the availability bitmaps are exactly the complement of live allocations;
+* accounting (used/free slots) matches the live allocations;
+* defragmentation preserves the key set and every item's size.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.memory import SwitchMemoryManager
+from repro.core.primitives import popcount
+
+ARRAYS = 8
+SLOTS = 8
+SLOT_BYTES = 16
+
+
+def ops():
+    insert = st.tuples(st.just("insert"), st.integers(0, 30),
+                       st.integers(1, ARRAYS * SLOT_BYTES))
+    evict = st.tuples(st.just("evict"), st.integers(0, 30), st.just(0))
+    return st.lists(st.one_of(insert, evict), max_size=60)
+
+
+def apply_ops(op_list):
+    mm = SwitchMemoryManager(num_arrays=ARRAYS, slots_per_array=SLOTS,
+                             slot_bytes=SLOT_BYTES)
+    for kind, key_num, size in op_list:
+        key = f"key{key_num}".encode()
+        if kind == "insert":
+            mm.insert(key, size)
+        else:
+            mm.evict(key)
+    return mm
+
+
+def check_consistency(mm):
+    # Rebuild expected availability from live allocations.
+    expected = [mm.full_mask] * mm.slots_per_array
+    used = 0
+    seen = {}
+    for key, alloc in mm.items():
+        assert expected[alloc.index] & alloc.bitmap == alloc.bitmap, \
+            f"overlap at bin {alloc.index}: {key!r} vs {seen.get(alloc.index)}"
+        expected[alloc.index] &= ~alloc.bitmap
+        seen.setdefault(alloc.index, []).append(key)
+        used += alloc.num_slots
+    assert expected == mm._mem
+    assert mm.used_slots == used
+    assert mm.free_slots == mm.total_slots - used
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops())
+def test_no_overlap_and_exact_accounting(op_list):
+    check_consistency(apply_ops(op_list))
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops())
+def test_defragment_preserves_items_and_sizes(op_list):
+    mm = apply_ops(op_list)
+    before = {key: alloc.num_slots for key, alloc in mm.items()}
+    mm.defragment()
+    after = {key: alloc.num_slots for key, alloc in mm.items()}
+    assert before == after
+    check_consistency(mm)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops(), st.integers(1, ARRAYS * SLOT_BYTES))
+def test_insert_failure_implies_no_fitting_bin(op_list, size):
+    mm = apply_ops(op_list)
+    key = b"probe-key"
+    mm.evict(key)
+    n = mm.slots_needed(size)
+    result = mm.insert(key, size)
+    if result is None:
+        # First Fit failing must mean no bin has n free slots.
+        assert all(popcount(b) < n for b in mm._mem)
+    else:
+        assert result.num_slots == n
+        check_consistency(mm)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops())
+def test_evict_then_reinsert_always_fits(op_list):
+    mm = apply_ops(op_list)
+    items = list(mm.items())
+    if not items:
+        return
+    key, alloc = items[0]
+    size = alloc.num_slots * SLOT_BYTES
+    mm.evict(key)
+    assert mm.insert(key, size) is not None

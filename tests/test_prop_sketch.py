@@ -1,0 +1,83 @@
+"""Property-based tests for the sketch substrate."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch.bloom import BloomFilter
+from repro.sketch.countmin import CountMinSketch
+from repro.sketch.spacesaving import SpaceSaving
+
+keys = st.binary(min_size=1, max_size=24)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(keys, max_size=300))
+def test_countmin_never_underestimates(stream):
+    sketch = CountMinSketch(width=256, depth=4, counter_bits=32, seed=1)
+    truth = Counter()
+    for key in stream:
+        sketch.update(key)
+        truth[key] += 1
+    for key, count in truth.items():
+        assert sketch.estimate(key) >= count
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(keys, max_size=300))
+def test_countmin_bounded_by_total(stream):
+    sketch = CountMinSketch(width=256, depth=4, counter_bits=32, seed=1)
+    for key in stream:
+        sketch.update(key)
+    for key in set(stream):
+        assert sketch.estimate(key) <= len(stream)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(keys, max_size=200))
+def test_bloom_no_false_negatives(stream):
+    bloom = BloomFilter(bits=2048, num_hashes=3, seed=2)
+    for key in stream:
+        bloom.add(key)
+    for key in stream:
+        assert bloom.contains(key)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(keys, max_size=200))
+def test_bloom_add_reports_membership_transition(stream):
+    bloom = BloomFilter(bits=4096, num_hashes=3, seed=3)
+    for key in stream:
+        was_in = bloom.contains(key)
+        assert bloom.add(key) == was_in
+        assert bloom.contains(key)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(keys, min_size=1, max_size=400), st.integers(2, 32))
+def test_spacesaving_error_bound(stream, capacity):
+    # Classic guarantee: estimate - truth <= total / capacity.
+    ss = SpaceSaving(capacity=capacity)
+    truth = Counter()
+    for key in stream:
+        ss.update(key)
+        truth[key] += 1
+    for key in truth:
+        est = ss.estimate(key)
+        if est:
+            assert est >= truth[key]
+            assert est - truth[key] <= len(stream) / capacity
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(keys, min_size=1, max_size=400))
+def test_spacesaving_finds_majority_item(stream):
+    # Any item with frequency > total/2 must be tracked with capacity >= 2.
+    ss = SpaceSaving(capacity=2)
+    truth = Counter()
+    for key in stream:
+        ss.update(key)
+        truth[key] += 1
+    item, count = truth.most_common(1)[0]
+    if count > len(stream) / 2:
+        assert ss.estimate(item) >= count

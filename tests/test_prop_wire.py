@@ -1,0 +1,60 @@
+"""Property-based tests for the wire format and the hash table."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PacketFormatError
+from repro.net import wire
+from repro.net.packet import Packet
+from repro.net.protocol import Op
+
+node_ids = st.integers(0, 65535)
+keys16 = st.binary(min_size=16, max_size=16)
+values = st.one_of(st.none(), st.binary(max_size=128))
+ops = st.sampled_from(list(Op))
+
+
+@st.composite
+def packets(draw):
+    return Packet(
+        src=draw(node_ids),
+        dst=draw(node_ids),
+        udp=draw(st.booleans()),
+        op=draw(ops),
+        seq=draw(st.integers(0, 2**32 - 1)),
+        key=draw(keys16),
+        value=draw(values),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(packets())
+def test_wire_roundtrip_preserves_all_fields(pkt):
+    decoded = wire.decode(wire.encode(pkt))
+    assert decoded.src == pkt.src
+    assert decoded.dst == pkt.dst
+    assert decoded.udp == pkt.udp
+    assert decoded.op == pkt.op
+    assert decoded.seq == pkt.seq
+    assert decoded.key == pkt.key
+    assert decoded.value == pkt.value
+
+
+@settings(max_examples=200, deadline=None)
+@given(packets(), st.integers(0, 200), st.integers(0, 255))
+def test_single_byte_corruption_never_crashes(pkt, position, new_byte):
+    data = bytearray(wire.encode(pkt))
+    position %= len(data)
+    data[position] = new_byte
+    try:
+        wire.decode(bytes(data))
+    except PacketFormatError:
+        pass  # rejecting is fine; crashing or hanging is not
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=200))
+def test_garbage_never_crashes(data):
+    try:
+        wire.decode(data)
+    except PacketFormatError:
+        pass

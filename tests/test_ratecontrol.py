@@ -1,0 +1,66 @@
+"""Tests for the AIMD rate controller."""
+
+import pytest
+
+from repro.client.ratecontrol import AimdRateController
+from repro.errors import ConfigurationError
+
+
+class TestAdjustment:
+    def test_high_loss_backs_off(self):
+        ctl = AimdRateController(1000.0, decrease=0.5)
+        ctl.observe(sent=100, received=80)  # 20% loss
+        assert ctl.rate == 500.0
+
+    def test_low_loss_increases(self):
+        ctl = AimdRateController(1000.0, increase=0.1)
+        ctl.observe(sent=100, received=100)
+        assert ctl.rate == pytest.approx(1100.0)
+
+    def test_mid_loss_holds(self):
+        ctl = AimdRateController(1000.0, high_loss=0.05, low_loss=0.01)
+        ctl.observe(sent=100, received=97)  # 3% loss
+        assert ctl.rate == 1000.0
+
+    def test_min_rate_floor(self):
+        ctl = AimdRateController(10.0, min_rate=8.0)
+        ctl.observe(100, 0)
+        assert ctl.rate == 8.0
+
+    def test_max_rate_ceiling(self):
+        ctl = AimdRateController(100.0, max_rate=105.0, increase=0.5)
+        ctl.observe(100, 100)
+        assert ctl.rate == 105.0
+
+    def test_no_sends_no_change(self):
+        ctl = AimdRateController(100.0)
+        assert ctl.observe(0, 0) == 100.0
+
+    def test_multiplicative_increase(self):
+        ctl = AimdRateController(100.0, multiplicative_increase=2.0)
+        ctl.observe(10, 10)
+        assert ctl.rate == pytest.approx(200.0)
+
+
+class TestConvergence:
+    def test_converges_to_capacity(self):
+        capacity = 5000.0
+        ctl = AimdRateController(1000.0, increase=0.05,
+                                 multiplicative_increase=1.5)
+        for _ in range(100):
+            sent = int(ctl.rate)
+            received = min(sent, int(capacity))
+            ctl.observe(sent, received)
+        assert 0.7 * capacity <= ctl.rate <= 1.4 * capacity
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            AimdRateController(0.0)
+        with pytest.raises(ConfigurationError):
+            AimdRateController(10.0, high_loss=0.01, low_loss=0.05)
+        with pytest.raises(ConfigurationError):
+            AimdRateController(10.0, decrease=1.5)
+        with pytest.raises(ConfigurationError):
+            AimdRateController(10.0, multiplicative_increase=0.9)

@@ -1,0 +1,87 @@
+"""Tests for the server-rotation measurement methodology (§7.1)."""
+
+import pytest
+
+from repro.analysis.validation import predict
+from repro.errors import ConfigurationError
+from repro.sim.rotation import (
+    PartitionFilteredWorkload,
+    RotationConfig,
+    ServerRotation,
+)
+
+
+@pytest.fixture(scope="module")
+def nocache_rotation():
+    rot = ServerRotation(RotationConfig(enable_cache=False, seed=1))
+    return rot, rot.run()
+
+
+@pytest.fixture(scope="module")
+def cached_rotation():
+    rot = ServerRotation(RotationConfig(enable_cache=True, seed=1))
+    return rot, rot.run()
+
+
+class TestFilteredWorkload:
+    def test_only_allowed_partitions(self):
+        rot = ServerRotation(RotationConfig(enable_cache=False, seed=1))
+        cluster = rot._fresh_cluster()
+        filtered = PartitionFilteredWorkload(rot.workload, cluster, (0, 3))
+        for _ in range(200):
+            _, key = filtered.next_query()
+            assert cluster.partitioner.partition_of(key) in (0, 3)
+
+
+class TestBottleneck:
+    def test_bottleneck_has_max_share(self, nocache_rotation):
+        rot, result = nocache_rotation
+        shares = rot._shares
+        assert result.bottleneck == int(shares.argmax())
+
+    def test_cache_moves_the_bottleneck(self, nocache_rotation,
+                                        cached_rotation):
+        # Once the head is cached, the residual bottleneck is (almost
+        # always) a different partition.
+        _, plain = nocache_rotation
+        _, cached = cached_rotation
+        assert plain.bottleneck != cached.bottleneck
+
+
+class TestAggregation:
+    def test_covers_all_partitions(self, nocache_rotation):
+        _, result = nocache_rotation
+        assert set(result.per_partition) == set(range(8))
+
+    def test_rotation_matches_equilibrium_nocache(self, nocache_rotation):
+        rot, result = nocache_rotation
+        model = predict(8, rot.config.server_rate, rot.workload, None)
+        assert result.total_throughput == \
+            pytest.approx(model.throughput, rel=0.15)
+
+    def test_rotation_matches_equilibrium_cached(self, cached_rotation):
+        rot, result = cached_rotation
+        cluster = rot._fresh_cluster()
+        model = predict(8, rot.config.server_rate, rot.workload,
+                        cluster.switch.dataplane.cached_keys())
+        assert result.total_throughput == \
+            pytest.approx(model.throughput, rel=0.15)
+
+    def test_cache_multiplies_throughput(self, nocache_rotation,
+                                         cached_rotation):
+        _, plain = nocache_rotation
+        _, cached = cached_rotation
+        assert cached.total_throughput > 3 * plain.total_throughput
+        assert cached.cache_throughput > 0
+        assert plain.cache_throughput == 0
+
+    def test_bottleneck_partition_near_capacity(self, nocache_rotation):
+        rot, result = nocache_rotation
+        served = result.per_partition[result.bottleneck]
+        assert served > 0.8 * rot.config.server_rate
+
+
+class TestConfig:
+    def test_needs_two_partitions(self):
+        with pytest.raises(ConfigurationError):
+            RotationConfig(num_partitions=1)

@@ -1,0 +1,57 @@
+"""Tests for the multi-rack scaling simulation (Fig 10f)."""
+
+import pytest
+
+from repro.sim.scaling import (
+    ScalingConfig,
+    leaf_cache_throughput,
+    leaf_spine_throughput,
+    nocache_throughput,
+    sweep,
+)
+
+# Scaled-down geometry; the uplink is ~2.5x one rack's server capacity,
+# matching the full-scale ratio (2 BQPS uplink vs 1.28 BQPS of servers).
+CFG = ScalingConfig(servers_per_rack=16, num_keys=50_000,
+                    leaf_cache_items=500, spine_cache_items=500,
+                    server_rate=1e6, rack_uplink_rate=4e7)
+
+
+class TestShapes:
+    def test_nocache_flat(self):
+        t1 = nocache_throughput(1, CFG)
+        t8 = nocache_throughput(8, CFG)
+        # Adding 8x servers barely helps (bottlenecked by hottest key).
+        assert t8 < 2.0 * t1
+
+    def test_leaf_cache_sublinear(self):
+        t1 = leaf_cache_throughput(1, CFG)
+        t16 = leaf_cache_throughput(16, CFG)
+        assert t16 > t1  # grows...
+        assert t16 < 12 * t1  # ...but clearly sublinearly
+
+    def test_leaf_spine_scales_linearly(self):
+        t1 = leaf_spine_throughput(1, CFG)
+        t16 = leaf_spine_throughput(16, CFG)
+        assert t16 > 8 * t1
+
+    def test_ordering_at_scale(self):
+        racks = 16
+        assert (nocache_throughput(racks, CFG)
+                < leaf_cache_throughput(racks, CFG)
+                < leaf_spine_throughput(racks, CFG))
+
+    def test_cache_designs_beat_nocache_at_one_rack(self):
+        assert leaf_cache_throughput(1, CFG) > 3 * nocache_throughput(1, CFG)
+
+
+class TestSweep:
+    def test_sweep_covers_grid(self):
+        points = sweep((1, 2), CFG)
+        assert len(points) == 6
+        designs = {p.design for p in points}
+        assert designs == {"NoCache", "Leaf-Cache", "Leaf-Spine-Cache"}
+        assert all(p.num_servers == p.num_racks * 16 for p in points)
+
+    def test_throughputs_positive(self):
+        assert all(p.throughput > 0 for p in sweep((1, 4), CFG))

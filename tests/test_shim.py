@@ -1,0 +1,199 @@
+"""Tests for the server coherence shim, with a hand-driven fake transport."""
+
+import pytest
+
+from repro.errors import CoherenceError
+from repro.kvstore.shim import MAX_UPDATE_RETRIES, ServerShim
+from repro.kvstore.store import KVStore
+from repro.net.packet import Packet, make_delete, make_get, make_put
+from repro.net.protocol import Op
+
+KEY = b"0123456789abcdef"
+
+
+class FakeTimer:
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class FakeServer:
+    """Implements the StorageServerLike duck type with manual timers."""
+
+    node_id = 5
+    gateway = 1
+
+    def __init__(self):
+        self.replies = []
+        self.to_gateway = []
+        self.timers = []
+
+    def send_reply(self, pkt):
+        self.replies.append(pkt)
+
+    def send_to_gateway(self, pkt):
+        self.to_gateway.append(pkt)
+
+    def schedule(self, delay, callback, *args):
+        timer = FakeTimer()
+        self.timers.append((timer, callback, args))
+        return timer
+
+    def fire_timer(self, index=-1):
+        timer, callback, args = self.timers[index]
+        if not timer.cancelled:
+            callback(*args)
+
+
+@pytest.fixture()
+def rig():
+    server = FakeServer()
+    store = KVStore(num_cores=2)
+    shim = ServerShim(server, store)
+    return server, store, shim
+
+
+def cached_put(value, seq=1):
+    pkt = make_put(2, 5, KEY, value, seq=seq)
+    pkt.op = Op.PUT_CACHED  # the switch's rewrite
+    return pkt
+
+
+class TestReads:
+    def test_get_found(self, rig):
+        server, store, shim = rig
+        store.put(KEY, b"v")
+        shim.process(make_get(2, 5, KEY))
+        reply = server.replies[0]
+        assert reply.op == Op.GET_REPLY and reply.value == b"v"
+        assert (reply.src, reply.dst) == (5, 2)
+
+    def test_get_missing_returns_none_value(self, rig):
+        server, _, shim = rig
+        shim.process(make_get(2, 5, KEY))
+        assert server.replies[0].value is None
+
+
+class TestUncachedWrites:
+    def test_put_applies_and_replies(self, rig):
+        server, store, shim = rig
+        shim.process(make_put(2, 5, KEY, b"v"))
+        assert store.get(KEY) == b"v"
+        assert server.replies[0].op == Op.PUT_REPLY
+        assert not server.to_gateway  # no cache update for uncached keys
+
+    def test_delete_applies(self, rig):
+        server, store, shim = rig
+        store.put(KEY, b"v")
+        shim.process(make_delete(2, 5, KEY))
+        assert store.get(KEY) is None
+        assert server.replies[0].op == Op.DELETE_REPLY
+
+
+class TestCachedWrites:
+    def test_put_cached_triggers_update(self, rig):
+        server, store, shim = rig
+        shim.process(cached_put(b"new"))
+        assert store.get(KEY) == b"new"
+        # Client got its reply immediately (before the switch is updated).
+        assert server.replies[0].op == Op.PUT_REPLY
+        update = server.to_gateway[0]
+        assert update.op == Op.CACHE_UPDATE and update.value == b"new"
+        assert shim.pending_updates == 1
+
+    def test_ack_completes_update(self, rig):
+        server, _, shim = rig
+        shim.process(cached_put(b"new"))
+        update = server.to_gateway[0]
+        shim.process(update.make_reply(Op.CACHE_UPDATE_ACK))
+        assert shim.pending_updates == 0
+        assert shim.updates_acked == 1
+        assert server.timers[0][0].cancelled
+
+    def test_stale_ack_ignored(self, rig):
+        server, _, shim = rig
+        shim.process(cached_put(b"new"))
+        ack = server.to_gateway[0].make_reply(Op.CACHE_UPDATE_ACK)
+        ack.seq = 999
+        shim.process(ack)
+        assert shim.pending_updates == 1
+
+    def test_retransmit_on_timeout(self, rig):
+        server, _, shim = rig
+        shim.process(cached_put(b"new"))
+        server.fire_timer(0)
+        assert len(server.to_gateway) == 2
+        assert shim.retransmissions == 1
+
+    def test_gives_up_after_max_retries(self, rig):
+        server, _, shim = rig
+        shim.process(cached_put(b"new"))
+        with pytest.raises(CoherenceError):
+            for _ in range(MAX_UPDATE_RETRIES + 1):
+                server.fire_timer(-1)
+
+    def test_delete_cached_no_value_update(self, rig):
+        server, store, shim = rig
+        store.put(KEY, b"v")
+        pkt = make_delete(2, 5, KEY)
+        pkt.op = Op.DELETE_CACHED
+        shim.process(pkt)
+        assert store.get(KEY) is None
+        assert not server.to_gateway  # no value to push
+
+
+class TestWriteBlocking:
+    def test_second_write_blocked_until_ack(self, rig):
+        server, store, shim = rig
+        shim.process(cached_put(b"v1", seq=1))
+        shim.process(cached_put(b"v2", seq=2))
+        # v2 blocked: store still v1, only one client reply so far.
+        assert store.get(KEY) == b"v1"
+        assert len(server.replies) == 1
+        assert shim.writes_blocked == 1
+        # Ack v1 -> v2 drains, starting its own update.
+        shim.process(server.to_gateway[0].make_reply(Op.CACHE_UPDATE_ACK))
+        assert store.get(KEY) == b"v2"
+        assert len(server.replies) == 2
+        assert shim.pending_updates == 1
+
+    def test_version_increases_across_updates(self, rig):
+        server, _, shim = rig
+        shim.process(cached_put(b"v1"))
+        shim.process(server.to_gateway[0].make_reply(Op.CACHE_UPDATE_ACK))
+        shim.process(cached_put(b"v2"))
+        assert server.to_gateway[1].seq > server.to_gateway[0].seq
+
+    def test_writes_to_other_keys_not_blocked(self, rig):
+        server, store, shim = rig
+        other = b"fedcba9876543210"
+        shim.process(cached_put(b"v1"))
+        shim.process(make_put(2, 5, other, b"w"))
+        assert store.get(other) == b"w"
+
+
+class TestInsertionBlocking:
+    def test_insertion_blocks_writes(self, rig):
+        server, store, shim = rig
+        store.put(KEY, b"orig")
+        value = shim.begin_insertion(KEY)
+        assert value == b"orig"
+        shim.process(make_put(2, 5, KEY, b"racy"))
+        assert store.get(KEY) == b"orig"  # blocked
+        shim.end_insertion(KEY)
+        assert store.get(KEY) == b"racy"  # drained
+
+    def test_insertion_of_missing_key(self, rig):
+        _, _, shim = rig
+        assert shim.begin_insertion(KEY) is None
+        shim.end_insertion(KEY)
+
+    def test_reads_never_blocked(self, rig):
+        server, store, shim = rig
+        store.put(KEY, b"v")
+        shim.begin_insertion(KEY)
+        shim.process(make_get(2, 5, KEY))
+        assert server.replies[0].op == Op.GET_REPLY
+        shim.end_insertion(KEY)

@@ -1,0 +1,101 @@
+"""Tests for the discrete-event network simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.packet import make_get
+from repro.net.simulator import Node, Simulator
+
+KEY = b"0123456789abcdef"
+
+
+class Sink(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.got = []
+        self.started = False
+
+    def start(self):
+        self.started = True
+
+    def handle_packet(self, pkt):
+        self.got.append((self.sim.now, pkt))
+
+
+def two_node_sim(latency=1e-6, **link_kwargs):
+    sim = Simulator()
+    a, b = Sink(1), Sink(2)
+    sim.add_node(a)
+    sim.add_node(b)
+    sim.connect(1, 2, latency=latency, **link_kwargs)
+    return sim, a, b
+
+
+class TestWiring:
+    def test_duplicate_node_rejected(self):
+        sim = Simulator()
+        sim.add_node(Sink(1))
+        with pytest.raises(ConfigurationError):
+            sim.add_node(Sink(1))
+
+    def test_link_needs_existing_nodes(self):
+        sim = Simulator()
+        sim.add_node(Sink(1))
+        with pytest.raises(ConfigurationError):
+            sim.connect(1, 99)
+
+    def test_duplicate_link_rejected(self):
+        sim, _, _ = two_node_sim()
+        with pytest.raises(ConfigurationError):
+            sim.connect(2, 1)
+
+    def test_neighbors(self):
+        sim, _, _ = two_node_sim()
+        assert sim.neighbors(1) == [2]
+
+
+class TestDelivery:
+    def test_packet_delivered_with_latency(self):
+        sim, a, b = two_node_sim(latency=3e-6)
+        pkt = make_get(1, 2, KEY)
+        sim.transmit(1, 2, pkt)
+        sim.run()
+        assert len(b.got) == 1
+        t, got = b.got[0]
+        assert t == pytest.approx(3e-6)
+        assert got.last_hop == 1
+
+    def test_transmit_without_link_fails(self):
+        sim = Simulator()
+        sim.add_node(Sink(1))
+        sim.add_node(Sink(3))
+        with pytest.raises(SimulationError):
+            sim.transmit(1, 3, make_get(1, 3, KEY))
+
+    def test_loss_counted(self):
+        sim, a, b = two_node_sim(loss_prob=0.5, seed=4)
+        sent = 100
+        ok = sum(sim.transmit(1, 2, make_get(1, 2, KEY)) for _ in range(sent))
+        sim.run()
+        assert len(b.got) == ok
+        assert sim.lost == sent - ok
+        assert 20 < ok < 80
+
+    def test_delivered_counter(self):
+        sim, a, b = two_node_sim()
+        sim.transmit(1, 2, make_get(1, 2, KEY))
+        sim.run()
+        assert sim.delivered == 1
+
+
+class TestLifecycle:
+    def test_start_hooks_called_once(self):
+        sim, a, b = two_node_sim()
+        sim.run_until(1.0)
+        sim.run_until(2.0)
+        assert a.started and b.started
+
+    def test_now_tracks_run_until(self):
+        sim, _, _ = two_node_sim()
+        sim.run_until(0.5)
+        assert sim.now == 0.5

@@ -1,0 +1,86 @@
+"""Tests for store snapshots."""
+
+import pytest
+
+from repro.errors import PacketFormatError
+from repro.kvstore.snapshot import clone_store, load_store, save_store
+from repro.kvstore.store import KVStore
+
+
+@pytest.fixture()
+def populated():
+    store = KVStore(num_cores=4)
+    for i in range(200):
+        store.put(f"key{i:05d}".encode(), f"value-{i}".encode() * (i % 3 + 1))
+    return store
+
+
+class TestRoundTrip:
+    def test_save_load(self, populated, tmp_path):
+        path = tmp_path / "store.snap"
+        assert save_store(populated, path) == 200
+        restored = KVStore(num_cores=4)
+        assert load_store(path, restored) == 200
+        for i in range(0, 200, 13):
+            key = f"key{i:05d}".encode()
+            assert restored.get(key) == populated.get(key)
+        assert len(restored) == 200
+
+    def test_restore_onto_different_sharding(self, populated, tmp_path):
+        path = tmp_path / "store.snap"
+        save_store(populated, path)
+        restored = KVStore(num_cores=2, backend="chained")
+        load_store(path, restored)
+        assert len(restored) == 200
+
+    def test_empty_store(self, tmp_path):
+        path = tmp_path / "empty.snap"
+        assert save_store(KVStore(), path) == 0
+        restored = KVStore()
+        assert load_store(path, restored) == 0
+
+
+class TestCorruption:
+    def _snap(self, populated, tmp_path):
+        path = tmp_path / "store.snap"
+        save_store(populated, path)
+        return path
+
+    def test_bad_magic(self, populated, tmp_path):
+        path = self._snap(populated, tmp_path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(PacketFormatError):
+            load_store(path, KVStore())
+
+    def test_truncation(self, populated, tmp_path):
+        path = self._snap(populated, tmp_path)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(PacketFormatError):
+            load_store(path, KVStore())
+
+    def test_bitflip_fails_checksum(self, populated, tmp_path):
+        path = self._snap(populated, tmp_path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(PacketFormatError):
+            load_store(path, KVStore())
+
+
+class TestClone:
+    def test_clone_preserves_contents(self, populated):
+        clone = clone_store(populated)
+        assert len(clone) == len(populated)
+        assert clone.get(b"key00007") == populated.get(b"key00007")
+
+    def test_clone_is_independent(self, populated):
+        clone = clone_store(populated)
+        clone.put(b"key00007", b"changed")
+        assert populated.get(b"key00007") != b"changed"
+
+    def test_clone_across_backends(self, populated):
+        clone = clone_store(populated, backend="chained")
+        assert clone.backend == "chained"
+        assert len(clone) == 200

@@ -1,0 +1,95 @@
+"""Tests for the query-statistics module (Fig 7)."""
+
+import pytest
+
+from repro.core.stats import QueryStatistics
+from repro.errors import ConfigurationError
+
+
+def stats(threshold=5, rate=1.0):
+    return QueryStatistics(entries=128, hot_threshold=threshold,
+                           sample_rate=rate, seed=3)
+
+
+class TestCacheCounters:
+    def test_hits_counted(self):
+        s = stats()
+        for _ in range(4):
+            s.cache_count(b"k", key_index=7)
+        assert s.read_counter(7) == 4
+
+    def test_sampling_scales_counts(self):
+        s = stats(rate=0.5)
+        for _ in range(2000):
+            s.cache_count(b"k", key_index=0)
+        assert 800 <= s.read_counter(0) <= 1200
+
+
+class TestHeavyHitterPath:
+    def test_cold_key_not_reported(self):
+        s = stats(threshold=5)
+        assert s.heavy_hitter_count(b"cold") is None
+
+    def test_hot_key_reported_once(self):
+        s = stats(threshold=5)
+        reports = [s.heavy_hitter_count(b"hot") for _ in range(20)]
+        assert reports.count(b"hot") == 1
+        # Report fires exactly when the threshold is crossed.
+        assert reports[4] == b"hot"
+        assert s.reports == 1
+
+    def test_distinct_hot_keys_each_reported(self):
+        s = stats(threshold=3)
+        for key in (b"h1", b"h2"):
+            for _ in range(5):
+                s.heavy_hitter_count(key)
+        assert s.reports == 2
+
+    def test_report_again_after_reset(self):
+        s = stats(threshold=3)
+        for _ in range(5):
+            s.heavy_hitter_count(b"hot")
+        s.reset()
+        reports = [s.heavy_hitter_count(b"hot") for _ in range(5)]
+        assert b"hot" in reports
+
+    def test_sampler_gates_statistics(self):
+        s = stats(threshold=1, rate=0.0)
+        assert s.heavy_hitter_count(b"hot") is None
+        assert s.sketch.total_updates == 0
+
+
+class TestControlPlane:
+    def test_reset_clears_everything(self):
+        s = stats(threshold=2)
+        s.cache_count(b"k", key_index=1)
+        s.heavy_hitter_count(b"h")
+        s.reset()
+        assert s.read_counter(1) == 0
+        assert s.sketch.estimate(b"h") == 0
+        assert not s.bloom.contains(b"h")
+        assert s.resets == 1
+
+    def test_threshold_reconfigurable(self):
+        s = stats(threshold=100)
+        s.set_hot_threshold(2)
+        s.heavy_hitter_count(b"h")
+        assert s.heavy_hitter_count(b"h") == b"h"
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            stats().set_hot_threshold(0)
+        with pytest.raises(ConfigurationError):
+            QueryStatistics(hot_threshold=0)
+
+    def test_sample_rate_reconfigurable(self):
+        s = stats()
+        s.set_sample_rate(0.0)
+        s.cache_count(b"k", key_index=0)
+        assert s.read_counter(0) == 0
+
+    def test_sram_matches_paper_geometry(self):
+        s = QueryStatistics(entries=64 * 1024)
+        # counters 128KB + CM 512KB + bloom 96KB
+        assert s.sram_bytes == (64 * 1024 * 2 + 4 * 64 * 1024 * 2 +
+                                3 * 256 * 1024 // 8)

@@ -1,0 +1,60 @@
+"""Tests for the cache status module (valid bits + versions)."""
+
+from repro.core.status import CacheStatusModule
+
+
+def module():
+    return CacheStatusModule(pipe=0, entries=64)
+
+
+class TestValidity:
+    def test_starts_invalid(self):
+        assert not module().is_valid(0)
+
+    def test_set_valid(self):
+        m = module()
+        m.set_valid(3)
+        assert m.is_valid(3)
+
+    def test_invalidate(self):
+        m = module()
+        m.set_valid(3)
+        m.invalidate(3)
+        assert not m.is_valid(3)
+        assert m.invalidations == 1
+
+
+class TestVersioning:
+    def test_new_version_applies(self):
+        m = module()
+        assert m.try_update(0, version=1) is True
+        assert m.is_valid(0)
+
+    def test_stale_version_rejected(self):
+        m = module()
+        m.try_update(0, version=5)
+        assert m.try_update(0, version=5) is False
+        assert m.try_update(0, version=3) is False
+        assert m.updates_rejected == 2
+
+    def test_duplicate_retransmission_idempotent(self):
+        # The reliable-update retry path may deliver the same version
+        # twice; the second must not roll anything back.
+        m = module()
+        m.try_update(0, version=1)
+        m.invalidate(0)  # a later write invalidates
+        assert m.try_update(0, version=1) is False
+        assert not m.is_valid(0)  # old update cannot resurrect the entry
+
+    def test_reset_entry_recycles_version(self):
+        m = module()
+        m.try_update(0, version=9)
+        m.reset_entry(0)
+        assert not m.is_valid(0)
+        assert m.try_update(0, version=1) is True
+
+
+class TestAccounting:
+    def test_sram_bytes(self):
+        m = CacheStatusModule(pipe=0, entries=100)
+        assert m.sram_bytes == 100 * 1 + 100 * 4

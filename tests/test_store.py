@@ -1,0 +1,79 @@
+"""Tests for the sharded KV store."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ValueFormatError
+from repro.kvstore.store import KVStore
+
+
+class TestApi:
+    def test_get_put_delete(self):
+        store = KVStore(num_cores=4)
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert store.delete(b"k") is True
+        assert store.get(b"k") is None
+
+    def test_contains(self):
+        store = KVStore()
+        store.put(b"k", b"v")
+        assert b"k" in store and b"x" not in store
+
+    def test_len_across_shards(self):
+        store = KVStore(num_cores=4)
+        for i in range(100):
+            store.put(f"key{i}".encode(), b"v")
+        assert len(store) == 100
+
+    def test_value_size_enforced(self):
+        store = KVStore(max_value_size=16)
+        with pytest.raises(ValueFormatError):
+            store.put(b"k", b"v" * 17)
+
+    def test_op_counters(self):
+        store = KVStore()
+        store.put(b"k", b"v")
+        store.get(b"k")
+        store.delete(b"k")
+        assert (store.puts, store.gets, store.deletes) == (1, 1, 1)
+
+
+class TestSharding:
+    def test_key_sticks_to_one_core(self):
+        store = KVStore(num_cores=8)
+        core = store._core_of(b"somekey")
+        for _ in range(5):
+            assert store._core_of(b"somekey") == core
+
+    def test_cores_all_used(self):
+        store = KVStore(num_cores=4)
+        for i in range(400):
+            store.put(f"key{i}".encode(), b"v")
+        assert all(ops > 0 for ops in store.core_ops)
+
+    def test_core_imbalance_metric(self):
+        store = KVStore(num_cores=4)
+        for i in range(1000):
+            store.put(f"key{i}".encode(), b"v")
+        assert 1.0 <= store.core_imbalance() < 1.5
+
+    def test_skewed_single_key_imbalance(self):
+        # Per-core sharding amplifies single-key skew (§1): all hits land
+        # on one core.
+        store = KVStore(num_cores=4)
+        store.put(b"hot", b"v")
+        for _ in range(100):
+            store.get(b"hot")
+        assert store.core_imbalance() > 3.0
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            KVStore(num_cores=0)
+
+
+class TestStats:
+    def test_stats_dict(self):
+        store = KVStore()
+        store.put(b"k", b"v")
+        stats = store.stats()
+        assert stats["items"] == 1.0 and stats["puts"] == 1.0

@@ -1,0 +1,111 @@
+"""Tests for the switch nodes (PlainSwitch + NetCacheSwitch)."""
+
+import pytest
+
+from repro.core.switch import NetCacheSwitch, PlainSwitch
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.packet import make_get
+from repro.net.protocol import Op
+from repro.net.simulator import Node, Simulator
+
+KEY = b"0123456789abcdef"
+
+
+class Endpoint(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.got = []
+
+    def handle_packet(self, pkt):
+        self.got.append(pkt)
+
+
+def rig(netcache=True):
+    sim = Simulator()
+    cls = NetCacheSwitch if netcache else PlainSwitch
+    if netcache:
+        switch = cls(1, num_pipes=1, ports_per_pipe=8, entries=64,
+                     value_slots=64)
+        switch.dataplane.stats.set_sample_rate(1.0)
+    else:
+        switch = cls(1)
+    server = Endpoint(2)
+    client = Endpoint(3)
+    sim.add_node(switch)
+    sim.add_node(server)
+    sim.add_node(client)
+    sim.connect(1, 2)
+    sim.connect(1, 3)
+    switch.attach_neighbor(0, 2)
+    switch.attach_neighbor(5, 3)
+    return sim, switch, server, client
+
+
+class TestPlainSwitch:
+    def test_forwards_by_destination(self):
+        sim, switch, server, client = rig(netcache=False)
+        sim.transmit(3, 1, make_get(3, 2, KEY))
+        sim.run()
+        assert len(server.got) == 1
+        assert switch.forwarded == 1
+
+    def test_attach_duplicate_port_rejected(self):
+        _, switch, _, _ = rig(netcache=False)
+        with pytest.raises(ConfigurationError):
+            switch.attach_neighbor(0, 99)
+
+    def test_attach_duplicate_neighbor_rejected(self):
+        _, switch, _, _ = rig(netcache=False)
+        with pytest.raises(ConfigurationError):
+            switch.attach_neighbor(9, 2)
+
+    def test_remote_route_via_neighbor(self):
+        sim, switch, server, client = rig(netcache=False)
+        switch.add_remote_route(77, via_neighbor=2)
+        sim.transmit(3, 1, make_get(3, 77, KEY))
+        sim.run()
+        assert server.got  # forwarded toward 77's next hop
+
+    def test_unknown_neighbor_port_lookup(self):
+        _, switch, _, _ = rig(netcache=False)
+        with pytest.raises(RoutingError):
+            switch.port_of(1234)
+
+
+class TestNetCacheSwitch:
+    def test_miss_forwarded_to_server(self):
+        sim, switch, server, client = rig()
+        sim.transmit(3, 1, make_get(3, 2, KEY))
+        sim.run()
+        assert server.got and server.got[0].op == Op.GET
+
+    def test_hit_reflected_to_client(self):
+        sim, switch, server, client = rig()
+        switch.install(KEY, b"v", server_id=2)
+        sim.transmit(3, 1, make_get(3, 2, KEY))
+        sim.run()
+        assert not server.got
+        assert client.got[0].op == Op.GET_REPLY
+        assert client.got[0].value == b"v"
+
+    def test_hot_reports_reach_handler(self):
+        sim, switch, server, client = rig()
+        switch.dataplane.stats.set_hot_threshold(2)
+        reports = []
+        switch.hot_key_handler = reports.append
+        for _ in range(4):
+            sim.transmit(3, 1, make_get(3, 2, KEY))
+        sim.run()
+        assert reports == [KEY]
+
+    def test_control_surface(self):
+        _, switch, _, _ = rig()
+        assert switch.install(KEY, b"v", server_id=2)
+        assert switch.cached_keys() == [KEY]
+        assert switch.counter_of(KEY) == 0
+        switch.reset_statistics()
+        assert switch.evict(KEY)
+
+    def test_egress_port_of(self):
+        _, switch, _, _ = rig()
+        assert switch.egress_port_of(2) == 0

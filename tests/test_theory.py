@@ -1,0 +1,72 @@
+"""Tests for the load-balancing theory helpers."""
+
+import pytest
+
+from repro.analysis.theory import (
+    caching_nodes_needed,
+    load_imbalance,
+    small_cache_bound,
+    utilization_at_saturation,
+    zipf_head_mass,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSmallCacheBound:
+    def test_formula(self):
+        import math
+
+        assert small_cache_bound(128) == math.ceil(128 * math.log(128))
+
+    def test_single_node(self):
+        assert small_cache_bound(1) == 1
+
+    def test_constant_scales(self):
+        assert small_cache_bound(128, c=2.0) == 2 * small_cache_bound(128) \
+            or small_cache_bound(128, c=2.0) >= small_cache_bound(128)
+
+    def test_small_relative_to_any_keyspace(self):
+        # The point of the theorem: the bound is independent of item count.
+        assert small_cache_bound(128) < 1000
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            small_cache_bound(0)
+
+
+class TestCachingLayerSizing:
+    def test_in_memory_store_needs_a_layer_as_big_as_itself(self):
+        # T' ~= T  =>  M ~= N  (the §2 argument against server caches).
+        assert caching_nodes_needed(128, 10e6, 10e6) == pytest.approx(128)
+
+    def test_switch_cache_needs_one_box(self):
+        assert caching_nodes_needed(128, 10e6, 2e9) < 1.0
+
+    def test_flash_store_cheap_to_cache(self):
+        # DRAM cache over flash: orders of magnitude headroom.
+        assert caching_nodes_needed(128, 100e3, 10e6) == pytest.approx(1.28)
+
+
+class TestImbalanceMetrics:
+    def test_balanced(self):
+        assert load_imbalance([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert load_imbalance([4.0, 1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_utilization_at_saturation(self):
+        assert utilization_at_saturation([1.0, 1.0]) == pytest.approx(1.0)
+        assert utilization_at_saturation([2.0, 1.0, 1.0]) == \
+            pytest.approx((4 / 3) / 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_imbalance([])
+
+
+class TestZipfHeadMass:
+    def test_matches_distribution(self):
+        from repro.client.zipf import ZipfDistribution
+
+        assert zipf_head_mass(1000, 0.99, 100) == pytest.approx(
+            ZipfDistribution(1000, 0.99).head_mass(100))

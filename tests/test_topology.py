@@ -1,0 +1,75 @@
+"""Tests for topology plans."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import (
+    NodeIdAllocator,
+    make_leaf_spine_plan,
+    make_rack_plan,
+)
+
+
+class TestAllocator:
+    def test_unique_ids(self):
+        alloc = NodeIdAllocator()
+        ids = alloc.take_many(100)
+        assert len(set(ids)) == 100
+
+    def test_start_offset(self):
+        assert NodeIdAllocator(start=50).take() == 50
+
+
+class TestRackPlan:
+    def test_shape(self):
+        plan = make_rack_plan(num_servers=4, num_clients=2)
+        assert len(plan.server_ids) == 4
+        assert len(plan.client_ids) == 2
+        all_ids = [plan.tor_id] + plan.server_ids + plan.client_ids
+        assert len(set(all_ids)) == len(all_ids)
+
+    def test_ports_disjoint(self):
+        plan = make_rack_plan(4, 2)
+        sp = set(plan.server_ports.values())
+        cp = set(plan.client_ports.values())
+        assert not sp & cp
+        assert sp == {0, 1, 2, 3}
+
+    def test_links_cover_everyone(self):
+        plan = make_rack_plan(3, 1)
+        links = list(plan.links())
+        assert len(links) == 4
+        assert all(a == plan.tor_id for a, _ in links)
+
+    def test_empty_rack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_rack_plan(0, 1)
+        with pytest.raises(ConfigurationError):
+            make_rack_plan(1, 0)
+
+
+class TestLeafSpinePlan:
+    def test_shape(self):
+        plan = make_leaf_spine_plan(num_racks=4, servers_per_rack=8,
+                                    num_spines=2, num_clients=3)
+        assert len(plan.racks) == 4
+        assert len(plan.all_server_ids) == 32
+        assert len(plan.spine_ids) == 2
+
+    def test_rack_of_server(self):
+        plan = make_leaf_spine_plan(2, 4)
+        sid = plan.racks[1].server_ids[0]
+        assert plan.rack_of_server(sid) is plan.racks[1]
+        with pytest.raises(ConfigurationError):
+            plan.rack_of_server(999999)
+
+    def test_links_full_bipartite_core(self):
+        plan = make_leaf_spine_plan(3, 2, num_spines=2, num_clients=1)
+        links = set(plan.links())
+        for spine in plan.spine_ids:
+            for rack in plan.racks:
+                assert (spine, rack.tor_id) in links
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            make_leaf_spine_plan(0, 4)

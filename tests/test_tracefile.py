@@ -1,0 +1,116 @@
+"""Tests for query trace recording and replay."""
+
+import pytest
+
+from repro.client.tracefile import (
+    TraceWorkload,
+    read_trace,
+    record,
+    write_trace,
+)
+from repro.client.workload import Workload, WorkloadSpec
+from repro.errors import ConfigurationError, PacketFormatError
+from repro.net.protocol import Op
+
+KEY1 = b"0123456789abcdef"
+KEY2 = b"fedcba9876543210"
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    return tmp_path / "queries.trace"
+
+
+class TestRoundTrip:
+    def test_write_read(self, trace_path):
+        queries = [
+            (Op.GET, KEY1, None),
+            (Op.PUT, KEY2, b"some value"),
+            (Op.DELETE, KEY1, None),
+        ]
+        assert write_trace(trace_path, queries) == 3
+        assert read_trace(trace_path) == queries
+
+    def test_record_from_workload(self, trace_path):
+        workload = Workload(WorkloadSpec(num_keys=100, write_ratio=0.3,
+                                         seed=5))
+        assert record(workload, trace_path, 50) == 50
+        queries = read_trace(trace_path)
+        assert len(queries) == 50
+        # Recorded puts carry the workload's deterministic values.
+        for op, key, value in queries:
+            if op == Op.PUT:
+                assert value == workload.value_for(key)
+
+    def test_binary_safe(self, trace_path):
+        value = bytes(range(128))
+        write_trace(trace_path, [(Op.PUT, KEY1, value)])
+        assert read_trace(trace_path)[0][2] == value
+
+
+class TestMalformed:
+    def test_missing_header(self, trace_path):
+        trace_path.write_text("G 6b\n")
+        with pytest.raises(PacketFormatError):
+            read_trace(trace_path)
+
+    def test_bad_op(self, trace_path):
+        trace_path.write_text("# netcache-trace v1\nX 6b\n")
+        with pytest.raises(PacketFormatError):
+            read_trace(trace_path)
+
+    def test_put_without_value(self, trace_path):
+        trace_path.write_text("# netcache-trace v1\nP 6b\n")
+        with pytest.raises(PacketFormatError):
+            read_trace(trace_path)
+
+    def test_bad_hex(self, trace_path):
+        trace_path.write_text("# netcache-trace v1\nG zz\n")
+        with pytest.raises(PacketFormatError):
+            read_trace(trace_path)
+
+    def test_comments_and_blanks_skipped(self, trace_path):
+        trace_path.write_text(
+            "# netcache-trace v1\n\n# a comment\nG " + KEY1.hex() + "\n")
+        assert len(read_trace(trace_path)) == 1
+
+
+class TestReplay:
+    def test_replays_in_order(self, trace_path):
+        write_trace(trace_path, [
+            (Op.GET, KEY1, None),
+            (Op.PUT, KEY2, b"v1"),
+            (Op.PUT, KEY2, b"v2"),
+        ])
+        replay = TraceWorkload(trace_path)
+        assert replay.next_query() == (Op.GET, KEY1)
+        assert replay.next_query() == (Op.PUT, KEY2)
+        assert replay.value_for(KEY2) == b"v1"
+        assert replay.next_query() == (Op.PUT, KEY2)
+        assert replay.value_for(KEY2) == b"v2"  # per-occurrence values
+
+    def test_exhaustion(self, trace_path):
+        write_trace(trace_path, [(Op.GET, KEY1, None)])
+        replay = TraceWorkload(trace_path)
+        replay.next_query()
+        with pytest.raises(StopIteration):
+            replay.next_query()
+
+    def test_looping(self, trace_path):
+        write_trace(trace_path, [(Op.GET, KEY1, None)])
+        replay = TraceWorkload(trace_path, loop=True)
+        assert [replay.next_query() for _ in range(3)] == \
+            [(Op.GET, KEY1)] * 3
+
+    def test_empty_trace_rejected(self, trace_path):
+        trace_path.write_text("# netcache-trace v1\n")
+        with pytest.raises(ConfigurationError):
+            TraceWorkload(trace_path)
+
+    def test_replay_drives_a_cluster(self, trace_path, small_cluster,
+                                     small_workload):
+        record(small_workload, trace_path, 200)
+        replay = TraceWorkload(trace_path, loop=True)
+        client = small_cluster.add_workload_client(replay, rate=20_000.0)
+        small_cluster.run(0.02)
+        assert client.received > 300

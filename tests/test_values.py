@@ -1,0 +1,103 @@
+"""Tests for the variable-length on-chip value store."""
+
+import pytest
+
+from repro.core.memory import Allocation, SwitchMemoryManager
+from repro.core.primitives import Stage
+from repro.core.values import ValueStore, chunk_value
+from repro.errors import ValueFormatError
+
+
+def store(arrays=8, slots=16):
+    return ValueStore(pipe=0, num_arrays=arrays, slots=slots)
+
+
+class TestChunking:
+    def test_exact_chunks(self):
+        assert chunk_value(b"x" * 32, 16) == [b"x" * 16, b"x" * 16]
+
+    def test_short_tail(self):
+        chunks = chunk_value(b"x" * 20, 16)
+        assert chunks == [b"x" * 16, b"x" * 4]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueFormatError):
+            chunk_value(b"", 16)
+
+
+class TestReadWrite:
+    def test_roundtrip_multi_stage(self):
+        s = store()
+        alloc = Allocation(index=3, bitmap=0b00000111)
+        value = bytes(range(48))
+        s.write(alloc, value)
+        assert s.read(alloc) == value
+
+    def test_roundtrip_sparse_bitmap(self):
+        # Non-consecutive arrays (the flexibility Algorithm 2 relies on).
+        s = store()
+        alloc = Allocation(index=0, bitmap=0b10100010)
+        value = bytes(range(40))
+        s.write(alloc, value)
+        assert s.read(alloc) == value
+
+    def test_short_value_in_large_allocation(self):
+        s = store()
+        alloc = Allocation(index=1, bitmap=0b1111)
+        s.write(alloc, b"tiny")
+        assert s.read(alloc) == b"tiny"
+
+    def test_value_too_large_for_allocation(self):
+        s = store()
+        alloc = Allocation(index=0, bitmap=0b1)
+        with pytest.raises(ValueFormatError):
+            s.write(alloc, b"x" * 17)
+
+    def test_fits_check(self):
+        s = store()
+        alloc = Allocation(index=0, bitmap=0b11)
+        assert s.fits(alloc, b"x" * 32)
+        assert not s.fits(alloc, b"x" * 33)
+
+    def test_clear(self):
+        s = store()
+        alloc = Allocation(index=0, bitmap=0b11)
+        s.write(alloc, b"x" * 32)
+        s.clear(alloc)
+        assert s.read(alloc) == b""
+
+    def test_independent_indexes(self):
+        s = store()
+        a = Allocation(index=0, bitmap=0b1)
+        b = Allocation(index=1, bitmap=0b1)
+        s.write(a, b"aaa")
+        s.write(b, b"bbb")
+        assert s.read(a) == b"aaa" and s.read(b) == b"bbb"
+
+
+class TestIntegrationWithAllocator:
+    def test_allocator_driven_roundtrips(self):
+        s = store(arrays=8, slots=8)
+        mm = SwitchMemoryManager(num_arrays=8, slots_per_array=8)
+        stored = {}
+        for i in range(10):
+            value = bytes([i]) * (16 * (1 + i % 4))
+            alloc = mm.insert(f"k{i}".encode(), len(value))
+            assert alloc is not None
+            s.write(alloc, value)
+            stored[f"k{i}".encode()] = (alloc, value)
+        for key, (alloc, value) in stored.items():
+            assert s.read(alloc) == value
+
+
+class TestGeometry:
+    def test_stage_placement(self):
+        stages = [Stage(f"s{i}") for i in range(4)]
+        ValueStore(pipe=0, num_arrays=4, slots=64, stages=stages)
+        assert all(len(st.arrays) == 1 for st in stages)
+
+    def test_max_value_size(self):
+        assert store(arrays=8).max_value_size == 128
+
+    def test_sram_bytes(self):
+        assert store(arrays=8, slots=16).sram_bytes == 8 * 16 * 16

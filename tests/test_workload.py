@@ -1,0 +1,87 @@
+"""Tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.client.workload import Workload, WorkloadSpec
+from repro.errors import ConfigurationError
+from repro.net.protocol import Op
+
+
+def workload(**overrides):
+    defaults = dict(num_keys=1000, read_skew=0.99, write_ratio=0.0, seed=4)
+    defaults.update(overrides)
+    return Workload(WorkloadSpec(**defaults))
+
+
+class TestStream:
+    def test_read_only_stream(self):
+        wl = workload()
+        ops = {op for op, _ in wl.queries(200)}
+        assert ops == {Op.GET}
+
+    def test_write_ratio_respected(self):
+        wl = workload(write_ratio=0.3)
+        writes = sum(op == Op.PUT for op, _ in wl.queries(5000))
+        assert 1200 <= writes <= 1800
+
+    def test_all_writes(self):
+        wl = workload(write_ratio=1.0)
+        assert all(op == Op.PUT for op, _ in wl.queries(50))
+
+    def test_keys_are_valid(self):
+        wl = workload()
+        for _, key in wl.queries(100):
+            assert 0 <= wl.keyspace.item(key) < 1000
+
+    def test_deterministic(self):
+        a = list(workload(seed=9).queries(100))
+        b = list(workload(seed=9).queries(100))
+        assert a == b
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(write_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(value_size=0)
+
+
+class TestValues:
+    def test_value_size(self):
+        wl = workload(value_size=64)
+        assert len(wl.value_for(wl.keyspace.key(3))) == 64
+
+    def test_values_deterministic_and_distinct(self):
+        wl = workload()
+        k1, k2 = wl.keyspace.key(1), wl.keyspace.key(2)
+        assert wl.value_for(k1) == wl.value_for(k1)
+        assert wl.value_for(k1) != wl.value_for(k2)
+
+
+class TestProbabilities:
+    def test_read_probs_sum_to_one(self):
+        probs = workload().read_item_probs()
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_probs_follow_popularity_map(self):
+        wl = workload()
+        wl.popularity.hot_in(5)  # items 995..999 become hottest
+        probs = wl.read_item_probs()
+        top5 = set(np.argsort(probs)[::-1][:5])
+        assert top5 == {995, 996, 997, 998, 999}
+
+    def test_hottest_keys_match_probs(self):
+        wl = workload()
+        probs = wl.read_item_probs()
+        hottest = wl.hottest_keys(3)
+        items = [wl.keyspace.item(k) for k in hottest]
+        assert items == list(np.argsort(probs)[::-1][:3])
+
+    def test_empirical_stream_matches_probs(self):
+        wl = workload(num_keys=100)
+        probs = wl.read_item_probs()
+        counts = np.zeros(100)
+        for _, key in wl.queries(20_000):
+            counts[wl.keyspace.item(key)] += 1
+        top = int(np.argmax(probs))
+        assert abs(counts[top] / 20_000 - probs[top]) < 0.02

@@ -1,0 +1,80 @@
+"""Tests for the YCSB workload presets."""
+
+import pytest
+
+from repro.client.ycsb import YCSB_ZIPF, presets, ycsb_spec, ycsb_workload
+from repro.errors import ConfigurationError
+from repro.net.protocol import Op
+from repro.sim.ratesim import RateSimConfig, simulate, top_k_mask
+
+
+class TestPresets:
+    def test_all_presets_materialize(self):
+        specs = presets()
+        assert set(specs) == {"A", "B", "C", "D", "F"}
+
+    def test_c_is_read_only(self):
+        assert ycsb_spec("C").write_ratio == 0.0
+
+    def test_a_is_half_updates(self):
+        spec = ycsb_spec("A")
+        assert spec.write_ratio == 0.5
+        assert spec.write_skew == YCSB_ZIPF
+
+    def test_case_insensitive(self):
+        assert ycsb_spec("b") == ycsb_spec("B")
+
+    def test_e_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ycsb_spec("E")
+
+    def test_sizing_overrides(self):
+        spec = ycsb_spec("C", num_keys=500, value_size=64, seed=9)
+        assert (spec.num_keys, spec.value_size, spec.seed) == (500, 64, 9)
+
+
+class TestStreams:
+    def test_b_mix(self):
+        wl = ycsb_workload("B", num_keys=1_000, seed=1)
+        writes = sum(op == Op.PUT for op, _ in wl.queries(4000))
+        assert 120 <= writes <= 280  # 5% +/- sampling noise
+
+    def test_c_stream_read_only(self):
+        wl = ycsb_workload("C", num_keys=1_000, seed=1)
+        assert all(op == Op.GET for op, _ in wl.queries(300))
+
+
+class TestOnTheRack:
+    """NetCache's value proposition per YCSB workload (§7.3's message:
+    great for read-heavy B/C/D, no help for update-heavy A/F)."""
+
+    def _improvement(self, preset):
+        wl = ycsb_workload(preset, num_keys=100_000)
+        config = RateSimConfig(num_servers=128)
+        reads = wl.read_item_probs()
+        writes = wl.write_item_probs()
+        w = wl.spec.write_ratio
+        mask = top_k_mask(reads, 1_000)
+        kwargs = dict(write_probs=writes) if w > 0 else {}
+        import dataclasses
+
+        cfg = dataclasses.replace(config, write_ratio=w)
+        netcache = simulate(reads, mask, cfg, **kwargs)
+        nocache = simulate(reads, None, cfg, **kwargs)
+        return netcache.throughput / nocache.throughput
+
+    def test_read_heavy_workloads_benefit(self):
+        assert self._improvement("C") > 5.0
+        # D's writes are uniform (inserts), so caching keeps its value.
+        assert self._improvement("D") > 5.0
+        # B's 5% updates hit the *same* hot keys; at line rate a key
+        # updated 10^5+ times/second cannot stay valid, so the benefit is
+        # marginal (the Fig 10d skewed-write effect).
+        assert self._improvement("B") > 1.05
+
+    def test_update_heavy_workloads_do_not(self):
+        assert self._improvement("A") < 1.2
+
+    def test_ordering(self):
+        assert self._improvement("C") > self._improvement("B") > \
+            self._improvement("A")
