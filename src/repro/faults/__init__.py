@@ -1,0 +1,53 @@
+"""Deterministic fault injection and chaos testing.
+
+The scenario engine behind the robustness story: seeded
+:class:`FaultSchedule`\\ s of correlated failures (partitions, loss
+bursts, duplication/reorder, server crashes, switch reboots, controller
+stalls), an invariant-checker layer that continuously asserts NetCache's
+coherence guarantees, and a :class:`ChaosRunner` that composes workload +
+schedule + invariants into one reproducible run keyed by a single seed.
+
+See ``docs/FAULTS.md`` for the fault model and the ``chaos`` CLI.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import (
+    AgreementInvariant,
+    CounterMonotonicityInvariant,
+    InvariantChecker,
+    InvariantSuite,
+    InvariantViolation,
+    PendingWriteInvariant,
+    StaleReadInvariant,
+    default_checkers,
+)
+from repro.faults.runner import (
+    SCENARIOS,
+    ChaosConfig,
+    ChaosRunner,
+    FaultReport,
+    run_chaos,
+    scripted_schedule,
+)
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+
+__all__ = [
+    "AgreementInvariant",
+    "ChaosConfig",
+    "ChaosRunner",
+    "CounterMonotonicityInvariant",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultReport",
+    "FaultSchedule",
+    "InvariantChecker",
+    "InvariantSuite",
+    "InvariantViolation",
+    "PendingWriteInvariant",
+    "SCENARIOS",
+    "StaleReadInvariant",
+    "default_checkers",
+    "run_chaos",
+    "scripted_schedule",
+]

@@ -1,0 +1,212 @@
+"""Seeded, time-ordered fault schedules.
+
+A :class:`FaultSchedule` is a declarative script of fault events — link
+partitions, loss bursts, duplication/reorder windows, server crashes,
+switch reboots, controller stalls — each triggered at a simulated time.
+Schedules are pure data: applying one to a live cluster is the
+:class:`~repro.faults.injector.FaultInjector`'s job, so the same schedule
+can be replayed, logged, and compared across runs.
+
+Determinism contract: a schedule is fully described by its event list (and
+the seed used to generate a random one), so two runs of the same schedule
+against the same-seeded cluster produce byte-identical event logs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class FaultKind(enum.Enum):
+    """What a fault event does when it fires."""
+
+    LINK_DOWN = "link-down"
+    LINK_UP = "link-up"
+    LOSS_BURST = "loss-burst"
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    SERVER_CRASH = "server-crash"
+    SERVER_RESTART = "server-restart"
+    SWITCH_REBOOT = "switch-reboot"
+    CONTROLLER_STALL = "controller-stall"
+    CONTROLLER_RESUME = "controller-resume"
+
+
+#: kinds that target a specific node (the others act switch/rack-wide).
+NODE_KINDS = frozenset({
+    FaultKind.LINK_DOWN, FaultKind.LINK_UP, FaultKind.LOSS_BURST,
+    FaultKind.DUPLICATE, FaultKind.REORDER, FaultKind.SERVER_CRASH,
+    FaultKind.SERVER_RESTART,
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One time-triggered fault.
+
+    ``node`` names the affected endpoint (the ToR-side link for link
+    faults), ``duration`` bounds window-style faults (loss burst, dup,
+    reorder), and ``prob`` carries their per-packet probability.
+    """
+
+    time: float
+    kind: FaultKind
+    node: Optional[int] = None
+    duration: float = 0.0
+    prob: float = 0.0
+
+    def __post_init__(self):
+        if self.time < 0:
+            raise ConfigurationError("fault time must be non-negative")
+        if self.duration < 0:
+            raise ConfigurationError("fault duration must be non-negative")
+        if not 0.0 <= self.prob < 1.0:
+            raise ConfigurationError("fault prob must be in [0, 1)")
+        if self.kind in NODE_KINDS and self.node is None:
+            raise ConfigurationError(f"{self.kind.value} needs a node")
+
+    def describe(self) -> str:
+        """Fixed-format, replay-stable one-line description."""
+        parts = [f"t={self.time:.9f}", self.kind.value]
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        if self.duration:
+            parts.append(f"dur={self.duration:.9f}")
+        if self.prob:
+            parts.append(f"p={self.prob:.6f}")
+        return " ".join(parts)
+
+
+class FaultSchedule:
+    """An ordered script of :class:`FaultEvent`\\ s.
+
+    Builder methods append paired begin/end events where that is the
+    natural shape (partition/heal, crash/restart, stall/resume) and return
+    ``self`` for chaining.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._events: List[FaultEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        self._events.append(event)
+        return self
+
+    def events(self) -> List[FaultEvent]:
+        """Events in firing order (stable for equal times)."""
+        return sorted(self._events, key=lambda e: e.time)
+
+    # -- builders --------------------------------------------------------------
+
+    def partition(self, time: float, node: int,
+                  duration: float) -> "FaultSchedule":
+        """Cut the ToR<->node cable at *time*; heal after *duration*."""
+        if duration <= 0:
+            raise ConfigurationError("partition duration must be positive")
+        self.add(FaultEvent(time, FaultKind.LINK_DOWN, node=node,
+                            duration=duration))
+        return self.add(FaultEvent(time + duration, FaultKind.LINK_UP,
+                                   node=node))
+
+    def loss_burst(self, time: float, node: int, duration: float,
+                   prob: float) -> "FaultSchedule":
+        """Correlated loss of probability *prob* on the node's cable."""
+        if duration <= 0:
+            raise ConfigurationError("burst duration must be positive")
+        return self.add(FaultEvent(time, FaultKind.LOSS_BURST, node=node,
+                                   duration=duration, prob=prob))
+
+    def duplicate(self, time: float, node: int, duration: float,
+                  prob: float) -> "FaultSchedule":
+        """Duplicate packets on the node's cable for *duration*."""
+        if duration <= 0:
+            raise ConfigurationError("duplication duration must be positive")
+        self.add(FaultEvent(time, FaultKind.DUPLICATE, node=node,
+                            duration=duration, prob=prob))
+        return self.add(FaultEvent(time + duration, FaultKind.DUPLICATE,
+                                   node=node))
+
+    def reorder(self, time: float, node: int, duration: float,
+                prob: float) -> "FaultSchedule":
+        """Reorder (delay-jitter) packets on the node's cable."""
+        if duration <= 0:
+            raise ConfigurationError("reorder duration must be positive")
+        self.add(FaultEvent(time, FaultKind.REORDER, node=node,
+                            duration=duration, prob=prob))
+        return self.add(FaultEvent(time + duration, FaultKind.REORDER,
+                                   node=node))
+
+    def crash_server(self, time: float, server: int,
+                     duration: float) -> "FaultSchedule":
+        """Crash a storage server at *time*; restart after *duration*."""
+        if duration <= 0:
+            raise ConfigurationError("crash duration must be positive")
+        self.add(FaultEvent(time, FaultKind.SERVER_CRASH, node=server,
+                            duration=duration))
+        return self.add(FaultEvent(time + duration, FaultKind.SERVER_RESTART,
+                                   node=server))
+
+    def reboot_switch(self, time: float) -> "FaultSchedule":
+        """Reboot the ToR at *time*: the cache wipes and must refill."""
+        return self.add(FaultEvent(time, FaultKind.SWITCH_REBOOT))
+
+    def stall_controller(self, time: float,
+                         duration: float) -> "FaultSchedule":
+        """Freeze the control plane (missed stat resets) for *duration*."""
+        if duration <= 0:
+            raise ConfigurationError("stall duration must be positive")
+        self.add(FaultEvent(time, FaultKind.CONTROLLER_STALL,
+                            duration=duration))
+        return self.add(FaultEvent(time + duration,
+                                   FaultKind.CONTROLLER_RESUME))
+
+    # -- generation -------------------------------------------------------------
+
+    @classmethod
+    def random(cls, seed: int, duration: float, nodes: Sequence[int],
+               num_faults: int = 4) -> "FaultSchedule":
+        """A seeded random schedule over *nodes* within [0, *duration*).
+
+        The same (seed, duration, nodes, num_faults) always yields the same
+        schedule — the basis of the replay property tests.
+        """
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not nodes:
+            raise ConfigurationError("need at least one target node")
+        rng = random.Random(seed ^ 0xFA17)
+        schedule = cls(seed=seed)
+        window = duration / max(1, num_faults)
+        for i in range(num_faults):
+            start = rng.uniform(i * window, (i + 0.5) * window)
+            span = rng.uniform(0.2, 0.8) * window * 0.5
+            node = rng.choice(list(nodes))
+            kind = rng.choice(["partition", "loss", "dup", "reorder",
+                               "crash", "reboot", "stall"])
+            if kind == "partition":
+                schedule.partition(start, node, span)
+            elif kind == "loss":
+                schedule.loss_burst(start, node, span,
+                                    round(rng.uniform(0.2, 0.8), 6))
+            elif kind == "dup":
+                schedule.duplicate(start, node, span,
+                                   round(rng.uniform(0.1, 0.5), 6))
+            elif kind == "reorder":
+                schedule.reorder(start, node, span,
+                                 round(rng.uniform(0.1, 0.5), 6))
+            elif kind == "crash":
+                schedule.crash_server(start, node, span)
+            elif kind == "reboot":
+                schedule.reboot_switch(start)
+            else:
+                schedule.stall_controller(start, span)
+        return schedule

@@ -57,6 +57,10 @@ class ServerShim:
     def __init__(self, server: "StorageServerLike", store: KVStore):
         self.server = server
         self.store = store
+        #: per-instance retry budget; chaos runs raise these so a partition
+        #: longer than MAX_UPDATE_RETRIES * UPDATE_RTO is survivable.
+        self.update_rto = UPDATE_RTO
+        self.max_update_retries = MAX_UPDATE_RETRIES
         self._pending: Dict[bytes, _PendingUpdate] = {}
         self._inserting: Dict[bytes, List[Packet]] = {}
         self._versions: Dict[bytes, int] = {}
@@ -153,7 +157,7 @@ class ServerShim:
         self.server.send_to_gateway(pkt)
         self.updates_sent += 1
         pending.timer = self.server.schedule(
-            UPDATE_RTO, self._on_update_timeout, pending
+            self.update_rto, self._on_update_timeout, pending
         )
 
     def _on_update_timeout(self, pending: _PendingUpdate) -> None:
@@ -161,10 +165,10 @@ class ServerShim:
             return  # already acked
         pending.retries += 1
         self.retransmissions += 1
-        if pending.retries > MAX_UPDATE_RETRIES:
+        if pending.retries > self.max_update_retries:
             raise CoherenceError(
                 f"switch cache update for {pending.key!r} lost "
-                f"{MAX_UPDATE_RETRIES} times"
+                f"{self.max_update_retries} times"
             )
         self._transmit_update(pending)
 

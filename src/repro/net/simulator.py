@@ -12,7 +12,7 @@ neighbours).  Loss and serialization happen on links.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.net.events import Event, EventQueue
@@ -51,10 +51,16 @@ class Simulator:
         self._links: Dict[Tuple[int, int], Link] = {}
         self.delivered = 0
         self.lost = 0
+        #: subset of ``lost`` dropped because an endpoint was down.
+        self.node_drops = 0
         self._started = False
+        self._down_nodes: Set[int] = set()
         #: observers called as fn(time, src_id, dst_id, pkt) on delivery
         #: (tracing/debugging; see repro.net.trace).
         self.delivery_hooks: List[Callable] = []
+        #: observers called as fn(time, link) on every link drop
+        #: (fault accounting; see repro.faults).
+        self.drop_hooks: List[Callable] = []
 
     # -- construction -------------------------------------------------------
 
@@ -73,6 +79,9 @@ class Simulator:
             if end not in self.nodes:
                 raise ConfigurationError(f"link endpoint {end} is not a node")
         self._links[key] = link
+        # Per-link drops must also reach the simulator-wide counters, no
+        # matter which code path attempted the transmission.
+        link.on_drop = self._on_link_drop
         return link
 
     def connect(self, a: int, b: int, **link_kwargs) -> Link:
@@ -109,25 +118,57 @@ class Simulator:
                  priority: int = 0) -> Event:
         return self.events.schedule(delay, callback, *args, priority=priority)
 
+    # -- node failures (see repro.faults) ------------------------------------
+
+    def set_node_down(self, node_id: int, down: bool = True) -> None:
+        """Mark a node crashed: packets to or from it are dropped until it
+        is marked up again.  Its scheduled timers keep firing (a restarted
+        process resumes its retry loops)."""
+        if node_id not in self.nodes:
+            raise ConfigurationError(f"unknown node {node_id}")
+        if down:
+            self._down_nodes.add(node_id)
+        else:
+            self._down_nodes.discard(node_id)
+
+    def node_is_down(self, node_id: int) -> bool:
+        return node_id in self._down_nodes
+
+    def _on_link_drop(self, link: Link, now: float) -> None:
+        self.lost += 1
+        for hook in self.drop_hooks:
+            hook(now, link)
+
+    def _drop_at_node(self) -> None:
+        self.lost += 1
+        self.node_drops += 1
+
     # -- transmission ---------------------------------------------------------
 
     def transmit(self, src_id: int, dst_id: int, pkt: Packet) -> bool:
         """Send *pkt* from node *src_id* to directly-connected *dst_id*.
 
-        Returns False if the link's loss process dropped the packet.
+        Returns False if the packet was dropped (link loss/partition, or a
+        crashed endpoint).  Duplicating links may schedule several copies.
         """
-        link = self.link_between(src_id, dst_id)
-        delay = link.delivery_delay(src_id, self.now)
-        if delay is None:
-            self.lost += 1
+        if src_id in self._down_nodes or dst_id in self._down_nodes:
+            self._drop_at_node()
             return False
-        self.events.schedule(delay, self._deliver, src_id, dst_id, pkt)
+        link = self.link_between(src_id, dst_id)
+        delays = link.delivery_plan(src_id, self.now)
+        if not delays:
+            return False  # the link's drop hook already counted it
+        for delay in delays:
+            self.events.schedule(delay, self._deliver, src_id, dst_id, pkt)
         return True
 
     def _deliver(self, src_id: int, dst_id: int, pkt: Packet) -> None:
         node = self.nodes.get(dst_id)
         if node is None:
             raise SimulationError(f"delivery to unknown node {dst_id}")
+        if dst_id in self._down_nodes:
+            self._drop_at_node()
+            return
         self.delivered += 1
         pkt.last_hop = src_id
         for hook in self.delivery_hooks:

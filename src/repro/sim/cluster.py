@@ -173,6 +173,63 @@ class Cluster:
         self.clients.append(client)
         return client
 
+    # -- fault-injection hooks (driven by repro.faults) --------------------------------
+
+    def link_to(self, node_id: int):
+        """The cable between the ToR and *node_id*."""
+        return self.sim.link_between(self.plan.tor_id, node_id)
+
+    def partition_node(self, node_id: int) -> None:
+        """Cut the cable between the ToR and *node_id* (server or client)."""
+        self.link_to(node_id).take_down()
+
+    def heal_node(self, node_id: int) -> None:
+        """Reconnect a partitioned node."""
+        self.link_to(node_id).bring_up()
+
+    def crash_server(self, server_id: int) -> None:
+        """Crash a storage server: packets to/from it vanish.  The store
+        survives (it is durable); timers resume on restart."""
+        if server_id not in self.servers:
+            raise ConfigurationError(f"{server_id} is not a storage server")
+        self.sim.set_node_down(server_id, True)
+
+    def restart_server(self, server_id: int) -> None:
+        if server_id not in self.servers:
+            raise ConfigurationError(f"{server_id} is not a storage server")
+        self.sim.set_node_down(server_id, False)
+
+    def reboot_switch(self) -> int:
+        """Reboot the ToR: the cache empties (§3); returns entries lost."""
+        reboot = getattr(self.switch, "reboot", None)
+        return reboot() if reboot is not None else 0
+
+    def stall_controller(self) -> None:
+        """Freeze the control plane: no update rounds, no statistics resets
+        (missed 1-second clears) until :meth:`resume_controller`."""
+        if self.controller is not None:
+            self.controller.stop()
+
+    def resume_controller(self) -> None:
+        if self.controller is not None:
+            self.controller.start()
+
+    def heal_all_faults(self) -> None:
+        """Clear every injected fault: links up and fault-free, nodes up,
+        controller running.  Used by the chaos runner before quiescing."""
+        for node_id in list(self.servers) + [c.node_id for c in self.clients]:
+            link = self.sim._links.get(self.sim._link_key(self.plan.tor_id,
+                                                          node_id))
+            if link is None:
+                continue
+            link.bring_up()
+            link.start_loss_burst(0.0, 0.0)
+            link.set_duplication(0.0)
+            link.set_reordering(0.0)
+        for sid in self.servers:
+            self.sim.set_node_down(sid, False)
+        self.resume_controller()
+
     # -- measurement -----------------------------------------------------------------
 
     def run(self, seconds: float) -> None:

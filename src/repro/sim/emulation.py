@@ -61,6 +61,9 @@ class EmulationConfig:
     #: simulated times at which the switch reboots with an empty cache
     #: (§3's failure story; the cache must refill from HH reports).
     reboot_times: tuple = ()
+    #: (start, end) windows during which the controller is stalled: no
+    #: update rounds and no statistics resets (missed 1-second clears).
+    controller_stall_windows: tuple = ()
     seed: int = 0
 
     def __post_init__(self):
@@ -79,6 +82,8 @@ class EmulationResult:
     insertions: List[int]            # cumulative controller insertions
     churn_times: List[float]
     reboot_times: List[float] = dataclasses.field(default_factory=list)
+    #: step times at which the controller was stalled.
+    stall_times: List[float] = dataclasses.field(default_factory=list)
 
     def rebinned(self, bin_seconds: float) -> List[float]:
         """Average throughput over *bin_seconds* windows (Fig 11 overlays
@@ -217,9 +222,17 @@ class DynamicsEmulator:
             aimd.observe(int(sent), int(received))
 
             self._feed_statistics(delivered)
-            self.controller.update_round()
+            stalled = any(start <= t < end
+                          for start, end in cfg.controller_stall_windows)
+            if stalled:
+                result.stall_times.append(t)
+            else:
+                self.controller.update_round()
             if t >= next_reset:
-                self.switch.reset_statistics()
+                # A stalled controller misses the reset entirely; the next
+                # one happens a full interval later (counters keep growing).
+                if not stalled:
+                    self.switch.reset_statistics()
                 next_reset += cfg.stats_interval
 
             result.times.append(t)

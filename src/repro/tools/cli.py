@@ -9,6 +9,7 @@ Installed as ``netcache-repro`` (see pyproject), or run as
     netcache-repro resources           # the §6 SRAM report
     netcache-repro validate            # DES vs model cross-check
     netcache-repro demo                # tiny end-to-end walkthrough
+    netcache-repro chaos --seed 7      # reproducible fault-injection run
 """
 
 from __future__ import annotations
@@ -163,6 +164,32 @@ def cmd_demo(_args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run a scripted fault scenario ``args.runs`` times and verify that
+    the event logs replay byte-identically and no invariant broke."""
+    from repro.faults import run_chaos
+
+    if args.runs < 1:
+        print("error: --runs must be at least 1", file=sys.stderr)
+        return 2
+    reports = [
+        run_chaos(scenario=args.scenario, seed=args.seed,
+                  duration=args.duration, num_servers=args.servers,
+                  write_ratio=args.write_ratio, rate=args.rate)
+        for _ in range(args.runs)
+    ]
+    report = reports[0]
+    _print(f"chaos: {args.scenario}", report.render())
+    ok = report.clean and report.recovery_time is not None
+    if args.runs > 1:
+        identical = all(r.event_log_text() == report.event_log_text()
+                        for r in reports[1:])
+        print(f"event logs identical across {args.runs} runs: "
+              f"{'yes' if identical else 'NO'}")
+        ok &= identical
+    return 0 if ok else 1
+
+
 def cmd_report(args) -> int:
     from repro.tools.reportgen import generate
 
@@ -200,6 +227,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help="tiny end-to-end walkthrough")
     p_demo.set_defaults(func=cmd_demo)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a reproducible fault-injection scenario")
+    from repro.faults.runner import SCENARIOS
+
+    p_chaos.add_argument("--scenario", choices=SCENARIOS, default="combo",
+                         help="scripted fault schedule (default: combo = "
+                              "switch reboot + partition + loss burst)")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--duration", type=float, default=0.4,
+                         help="seconds of faulted traffic")
+    p_chaos.add_argument("--servers", type=int, default=4)
+    p_chaos.add_argument("--write-ratio", type=float, default=0.1)
+    p_chaos.add_argument("--rate", type=float, default=20_000.0,
+                         help="open-loop client rate (queries/s)")
+    p_chaos.add_argument("--runs", type=int, default=2,
+                         help="replays to compare for determinism")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_rep = sub.add_parser("report",
                            help="generate a markdown results report")

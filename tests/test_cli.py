@@ -62,3 +62,22 @@ class TestOtherCommands:
         text = target.read_text()
         assert text.startswith("# NetCache reproduction")
         assert "Fig 10(f)" in text and "TOTAL" in text
+
+
+class TestChaosCommand:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--scenario", "tsunami"])
+
+    def test_combo_runs_twice_and_verifies_determinism(self, capsys):
+        assert main(["chaos", "--seed", "7", "--duration", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "switch-reboot" in out and "link-down" in out
+        assert "0 violations" in out
+        assert "event logs identical across 2 runs: yes" in out
+
+    def test_single_run_skips_comparison(self, capsys):
+        assert main(["chaos", "--scenario", "reboot", "--seed", "1",
+                     "--duration", "0.2", "--runs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "identical" not in out

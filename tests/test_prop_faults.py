@@ -1,0 +1,145 @@
+"""Property-based tests for the fault subsystem.
+
+Two properties anchor the chaos machinery:
+
+1. **Replay determinism** — any seeded schedule (random generation or
+   arbitrary builder calls) produces the same event list, and running it
+   through a live rack twice yields byte-identical event logs and reports.
+2. **Invariant soundness** — the checkers never fire on a fault-free run,
+   regardless of the operation interleaving the client issues.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.faults import (
+    ChaosConfig,
+    ChaosRunner,
+    FaultSchedule,
+    InvariantSuite,
+    scripted_schedule,
+)
+from repro.sim.cluster import Cluster, ClusterConfig, default_workload
+
+NUM_KEYS = 24
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1),
+       num_faults=st.integers(1, 8),
+       duration=st.floats(0.1, 10.0, allow_nan=False))
+def test_random_schedule_replays_identically(seed, num_faults, duration):
+    nodes = [1, 2, 3, 4]
+    a = FaultSchedule.random(seed, duration, nodes, num_faults=num_faults)
+    b = FaultSchedule.random(seed, duration, nodes, num_faults=num_faults)
+    assert a.events() == b.events()
+    assert [e.describe() for e in a.events()] == \
+        [e.describe() for e in b.events()]
+
+
+schedule_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["partition", "loss", "dup", "reorder", "crash",
+                         "reboot", "stall"]),
+        st.floats(0.0, 0.3, allow_nan=False),
+        st.floats(0.01, 0.1, allow_nan=False),
+        st.integers(0, 3),
+    ),
+    max_size=6,
+)
+
+
+def build_schedule(ops, server_ids):
+    sched = FaultSchedule()
+    for kind, start, span, node_idx in ops:
+        node = server_ids[node_idx % len(server_ids)]
+        if kind == "partition":
+            sched.partition(start, node, span)
+        elif kind == "loss":
+            sched.loss_burst(start, node, span, 0.5)
+        elif kind == "dup":
+            sched.duplicate(start, node, span, 0.3)
+        elif kind == "reorder":
+            sched.reorder(start, node, span, 0.3)
+        elif kind == "crash":
+            sched.crash_server(start, node, span)
+        elif kind == "reboot":
+            sched.reboot_switch(start)
+        else:
+            sched.stall_controller(start, span)
+    return sched
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=schedule_ops, seed=st.integers(0, 1000))
+def test_chaos_run_replays_byte_identically(ops, seed):
+    """Same seed + same schedule => same event log and same counters."""
+    def one_run():
+        config = ChaosConfig(seed=seed, duration=0.1, drain=0.05,
+                             num_keys=50, rate=5_000.0)
+        runner = ChaosRunner(config)
+        runner.schedule = build_schedule(ops, runner.cluster.plan.server_ids)
+        runner.injector = runner.injector.__class__(runner.cluster,
+                                                   runner.schedule)
+        return runner.run()
+
+    first, second = one_run(), one_run()
+    assert first.event_log_text() == second.event_log_text()
+    assert first.queries_sent == second.queries_sent
+    assert first.queries_received == second.queries_received
+    assert first.link_drops == second.link_drops
+    assert first.retries == second.retries
+    assert first.recovery_time == second.recovery_time
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scenario=st.sampled_from(["combo", "reboot", "partition"]),
+       seed=st.integers(0, 1000))
+def test_scripted_schedules_deterministic(scenario, seed):
+    config = ChaosConfig(seed=seed, duration=0.1)
+    a = scripted_schedule(scenario, config, [2, 3, 4, 5])
+    b = scripted_schedule(scenario, config, [2, 3, 4, 5])
+    assert [e.describe() for e in a.events()] == \
+        [e.describe() for e in b.events()]
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "put", "delete"]),
+        st.integers(0, NUM_KEYS - 1),
+        st.integers(0, 7),
+    ),
+    max_size=30,
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations)
+def test_invariants_clean_on_fault_free_run(op_list):
+    """No checker may fire when nothing is injected (soundness)."""
+    workload = default_workload(num_keys=NUM_KEYS, skew=0.99, seed=3,
+                                value_size=32)
+    cluster = Cluster(ClusterConfig(
+        num_servers=4, cache_items=8, lookup_entries=128, value_slots=128,
+        seed=3,
+    ))
+    cluster.load_workload_data(workload)
+    cluster.warm_cache(workload, 8)
+    cluster.start_controller()
+    suite = InvariantSuite(cluster, interval=0.002)
+    suite.start()
+    client = cluster.sync_client(timeout=5.0)
+    for kind, key_idx, value_idx in op_list:
+        key = workload.keyspace.key(key_idx)
+        if kind == "get":
+            client.get(key)
+        elif kind == "put":
+            client.put(key, bytes([value_idx + 1]) * 16)
+        else:
+            client.delete(key)
+    cluster.run(0.05)  # drain in-flight cache updates
+    violations = suite.finalize()
+    assert violations == [], [v.describe() for v in violations]
