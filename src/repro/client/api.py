@@ -28,6 +28,7 @@ from repro.kvstore.partition import HashPartitioner
 from repro.net.packet import Packet, make_delete, make_get, make_put
 from repro.net.protocol import Op
 from repro.net.simulator import Node
+from repro.obs import runtime as _obs
 
 ReplyCallback = Callable[[Optional[bytes], float], None]
 
@@ -107,6 +108,11 @@ class NetCacheClient(Node):
         latency = (self.sim.now - entry.sent_at) + CLIENT_OVERHEAD
         if len(self.latencies) < self.max_latency_samples:
             self.latencies.append(latency)
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.client_latency.observe(latency)
+            (obs.client_hits if pkt.served_by_cache
+             else obs.client_misses).inc()
         if entry.callback is not None:
             entry.callback(pkt.value, latency)
 

@@ -25,6 +25,7 @@ from repro.core.switch import NetCacheSwitch
 from repro.errors import ConfigurationError
 from repro.kvstore.partition import HashPartitioner
 from repro.kvstore.server import StorageServer
+from repro.obs import runtime as _obs
 
 
 class CacheController:
@@ -153,6 +154,13 @@ class CacheController:
 
     def update_round(self) -> int:
         """Drain pending hot-key reports; returns insertions performed."""
+        obs = _obs.ACTIVE
+        if obs is not None:
+            with obs.tracer.span("controller.update_cache"):
+                return self._update_round()
+        return self._update_round()
+
+    def _update_round(self) -> int:
         self.rounds += 1
         inserted = 0
         pending, self._pending = self._pending, []
@@ -207,6 +215,13 @@ class CacheController:
         write cannot leave the switch serving a stale value.  When a
         *victim* is supplied, it is evicted only once the fetch succeeded.
         """
+        obs = _obs.ACTIVE
+        if obs is not None:
+            with obs.tracer.span("controller.insert"):
+                return self._insert_inner(key, victim)
+        return self._insert_inner(key, victim)
+
+    def _insert_inner(self, key: bytes, victim: Optional[bytes]) -> bool:
         server_id = self.partitioner.server_for(key)
         server = self.servers.get(server_id)
         if server is None:

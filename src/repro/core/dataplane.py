@@ -34,6 +34,7 @@ from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 from repro.net.protocol import CACHED_WRITE_REWRITE, Op
 from repro.net.routing import RoutingTable
+from repro.obs import runtime as _obs
 
 
 class Action(enum.Enum):
@@ -119,6 +120,13 @@ class NetCacheDataplane:
 
     def process(self, pkt: Packet, ingress_port: int) -> PipelineResult:
         """Run one packet through ingress + egress processing."""
+        obs = _obs.ACTIVE
+        if obs is not None:
+            with obs.tracer.span("dataplane.process"):
+                return self._process(pkt, ingress_port)
+        return self._process(pkt, ingress_port)
+
+    def _process(self, pkt: Packet, ingress_port: int) -> PipelineResult:
         if not pkt.is_netcache:
             return PipelineResult(Action.FORWARD, self._route(pkt.dst))
 

@@ -14,10 +14,13 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
+import contextlib
+
 from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantChecker, InvariantSuite
 from repro.faults.schedule import FaultSchedule
+from repro.obs import runtime as _obs
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.client.workload import Workload, WorkloadSpec
 
@@ -159,6 +162,14 @@ class ChaosRunner:
 
     # -- the run ----------------------------------------------------------------
 
+    @staticmethod
+    def _span(name: str):
+        """Span when an observability session is live, no-op otherwise."""
+        obs = _obs.ACTIVE
+        if obs is None:
+            return contextlib.nullcontext()
+        return obs.tracer.span(name)
+
     def run(self) -> FaultReport:
         cfg = self.config
         cluster = self.cluster
@@ -168,7 +179,8 @@ class ChaosRunner:
         self.injector.arm()
 
         # Phase 1: faulted traffic.
-        cluster.run(cfg.duration)
+        with self._span("chaos.faulted"):
+            cluster.run(cfg.duration)
         client.stop()
 
         # Phase 2: heal everything, then drain and watch for settlement.
@@ -179,14 +191,22 @@ class ChaosRunner:
         t_end = t_heal + cfg.drain
         probe = max(cfg.invariant_interval / 2, 1e-4)
         t = t_heal
-        while t < t_end:
-            if settled_at is None and self._settled():
-                settled_at = cluster.sim.now
-            t = min(t + probe, t_end)
-            cluster.sim.run_until(t)
+        with self._span("chaos.drain"):
+            while t < t_end:
+                if settled_at is None and self._settled():
+                    settled_at = cluster.sim.now
+                t = min(t + probe, t_end)
+                cluster.sim.run_until(t)
         if settled_at is None and self._settled():
             settled_at = t_heal + cfg.drain
         self.injector.note(cluster.sim.now, "quiesce")
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.registry.counter("chaos.faults_injected").inc(
+                self.injector.injected)
+            if settled_at is not None:
+                obs.registry.gauge("chaos.recovery_time").set(
+                    settled_at - t_heal)
 
         # Phase 3: final invariant pass on the healed, drained rack.
         violations = self.suite.finalize()

@@ -26,6 +26,7 @@ from repro.errors import CoherenceError
 from repro.kvstore.store import KVStore
 from repro.net.packet import Packet, make_cache_update
 from repro.net.protocol import Op, REPLY_FOR
+from repro.obs import runtime as _obs
 
 #: Retransmission timeout for switch cache updates (seconds).  The paper's
 #: mechanism is "light-weight high-performance reliable packet" (§6); a short
@@ -40,7 +41,8 @@ MAX_UPDATE_RETRIES = 50
 class _PendingUpdate:
     """State of one in-flight switch cache update."""
 
-    __slots__ = ("key", "value", "version", "retries", "timer", "blocked")
+    __slots__ = ("key", "value", "version", "retries", "timer", "blocked",
+                 "started_at")
 
     def __init__(self, key: bytes, value: Optional[bytes], version: int):
         self.key = key
@@ -49,6 +51,9 @@ class _PendingUpdate:
         self.retries = 0
         self.timer = None
         self.blocked: List[Packet] = []
+        #: observability clock reading at first transmission (None when no
+        #: session is live); used for the update-RTT histogram.
+        self.started_at: Optional[float] = None
 
 
 class ServerShim:
@@ -76,13 +81,22 @@ class ServerShim:
         if pkt.op == Op.GET:
             self._handle_get(pkt)
         elif pkt.op in (Op.PUT, Op.DELETE):
-            self._handle_uncached_write(pkt)
+            self._traced_write(self._handle_uncached_write, pkt)
         elif pkt.op in (Op.PUT_CACHED, Op.DELETE_CACHED):
-            self._handle_cached_write(pkt)
+            self._traced_write(self._handle_cached_write, pkt)
         elif pkt.op == Op.CACHE_UPDATE_ACK:
             self._handle_ack(pkt)
         else:
             raise CoherenceError(f"server got unexpected op {pkt.op!r}")
+
+    @staticmethod
+    def _traced_write(handler, pkt: Packet) -> None:
+        obs = _obs.ACTIVE
+        if obs is not None:
+            with obs.tracer.span("shim.handle_write"):
+                handler(pkt)
+        else:
+            handler(pkt)
 
     # -- reads -----------------------------------------------------------------
 
@@ -143,6 +157,9 @@ class ServerShim:
         if value is None:
             raise CoherenceError("cache update requires the new value")
         pending = _PendingUpdate(key, value, self._next_version(key))
+        obs = _obs.ACTIVE
+        if obs is not None:
+            pending.started_at = obs.tracer.clock()
         self._pending[key] = pending
         self._transmit_update(pending)
 
@@ -180,6 +197,10 @@ class ServerShim:
             pending.timer.cancel()
         del self._pending[pkt.key]
         self.updates_acked += 1
+        obs = _obs.ACTIVE
+        if obs is not None and pending.started_at is not None:
+            obs.shim_update_rtt.observe(
+                obs.tracer.clock() - pending.started_at)
         self._drain_blocked(pkt.key, pending.blocked)
 
     def _drain_blocked(self, key: bytes, blocked: List[Packet]) -> None:

@@ -18,6 +18,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.net.events import Event, EventQueue
 from repro.net.links import Link
 from repro.net.packet import Packet
+from repro.obs import runtime as _obs
 
 
 class Node:
@@ -136,12 +137,18 @@ class Simulator:
 
     def _on_link_drop(self, link: Link, now: float) -> None:
         self.lost += 1
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.net_dropped.inc()
         for hook in self.drop_hooks:
             hook(now, link)
 
     def _drop_at_node(self) -> None:
         self.lost += 1
         self.node_drops += 1
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.net_dropped.inc()
 
     # -- transmission ---------------------------------------------------------
 
@@ -171,6 +178,9 @@ class Simulator:
             return
         self.delivered += 1
         pkt.last_hop = src_id
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.net_delivered.inc()
         for hook in self.delivery_hooks:
             hook(self.now, src_id, dst_id, pkt)
         node.handle_packet(pkt)

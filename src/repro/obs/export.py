@@ -1,0 +1,144 @@
+"""Exporters: JSON-lines (machine round-trippable) and Prometheus text.
+
+The JSONL form is the archival format — one metric per line, sorted by
+name, every field needed to reconstruct the metric —
+so ``registry_from_jsonl(registry_to_jsonl(r))`` is exact and
+re-serializing yields byte-identical text (tested).  The Prometheus form
+is the scrape/debug format: counters and gauges as plain samples,
+histograms as cumulative ``le`` buckets with ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Registry
+from repro.obs.span import Tracer
+
+_PROM_NAME = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def registry_to_jsonl(registry: Registry) -> str:
+    """One JSON object per metric, one per line, sorted by name."""
+    lines = []
+    for name, snap in registry.collect().items():
+        record = {"name": name}
+        record.update(snap)
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_jsonl(text: str) -> Dict[str, Dict]:
+    """Parse exporter output back into name -> snapshot dicts.
+
+    Tracer records (``"kind": "span_summary"`` / ``"span_event"``) are
+    skipped, so a combined registry + tracer dump parses as metrics.
+    """
+    out: Dict[str, Dict] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"bad JSONL metric line {lineno}: {exc}") from exc
+        if "kind" in record:
+            continue
+        name = record.pop("name", None)
+        if name is None or "type" not in record:
+            raise ConfigurationError(
+                f"JSONL metric line {lineno} missing name/type")
+        out[name] = record
+    return out
+
+
+def registry_from_jsonl(text: str) -> Registry:
+    """Reconstruct a live registry from exporter output (exact round-trip)."""
+    registry = Registry()
+    for name, snap in parse_jsonl(text).items():
+        kind = snap["type"]
+        if kind == "counter":
+            registry.counter(name).inc(snap["value"])
+        elif kind == "gauge":
+            registry.gauge(name).set(snap["value"])
+        elif kind == "histogram":
+            hist = registry.histogram(name, edges=snap["edges"])
+            if len(snap["counts"]) != len(snap["edges"]) + 1:
+                raise ConfigurationError(
+                    f"histogram {name!r} counts/edges length mismatch")
+            hist.counts = list(snap["counts"])
+            hist.count = snap["count"]
+            hist.sum = snap["sum"]
+            hist.min = snap["min"]
+            hist.max = snap["max"]
+        else:
+            raise ConfigurationError(f"unknown metric type {kind!r}")
+    return registry
+
+
+def prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    return _PROM_NAME.sub("_", name)
+
+
+def registry_to_prometheus(registry: Registry,
+                           prefix: str = "netcache") -> str:
+    """Prometheus text exposition of every metric in the registry."""
+    lines: List[str] = []
+    for name, snap in registry.collect().items():
+        full = f"{prefix}_{prom_name(name)}" if prefix else prom_name(name)
+        kind = snap["type"]
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {full} {kind}")
+            lines.append(f"{full} {_fmt(snap['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {full} histogram")
+            cum = 0
+            for edge, count in zip(snap["edges"], snap["counts"]):
+                cum += count
+                lines.append(f'{full}_bucket{{le="{_fmt(edge)}"}} {cum}')
+            cum += snap["counts"][-1]
+            lines.append(f'{full}_bucket{{le="+Inf"}} {cum}')
+            lines.append(f"{full}_sum {_fmt(snap['sum'])}")
+            lines.append(f"{full}_count {snap['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return repr(v)
+    return str(v)
+
+
+def tracer_to_jsonl(tracer: Tracer) -> str:
+    """Span aggregates (and buffered events, if kept) as JSON lines."""
+    lines = []
+    for name, agg in tracer.summary().items():
+        record = {"kind": "span_summary", "name": name}
+        record.update(agg)
+        lines.append(json.dumps(record, sort_keys=True))
+    for event in tracer.events:
+        record = {"kind": "span_event"}
+        record.update(event)
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def latency_summary(registry: Registry,
+                    names: Optional[List[str]] = None) -> Dict[str, Dict]:
+    """Quantile digest of every histogram (or the named ones) — the shape
+    embedded in perf snapshots."""
+    out: Dict[str, Dict] = {}
+    for name in (names if names is not None else registry.names()):
+        metric = registry.get(name)
+        if metric is None or metric.snapshot()["type"] != "histogram":
+            continue
+        digest = {"count": metric.count, "mean": metric.mean,
+                  "min": metric.min, "max": metric.max}
+        digest.update(metric.quantiles())
+        out[name] = digest
+    return out

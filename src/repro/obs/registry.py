@@ -1,0 +1,68 @@
+"""Metric registry: one namespace of counters/gauges/histograms per run.
+
+A :class:`Registry` is get-or-create: instrumentation asks for a metric by
+name and the registry hands back the existing instance or makes one.  Each
+:class:`~repro.obs.runtime.Observability` session owns a fresh registry, so
+two runs never share state (run isolation is tested explicitly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class Registry:
+    """Named collection of metrics."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, cls, *args) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  edges: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(name, Histogram, edges)
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> Dict[str, Dict]:
+        """Name -> snapshot dict for every metric, in sorted name order."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    def reset(self) -> None:
+        for metric in self._metrics.values():
+            metric.reset()

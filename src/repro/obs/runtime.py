@@ -1,0 +1,104 @@
+"""Process-wide observability session with a zero-cost-when-disabled guard.
+
+Instrumented hot paths (data plane, shim, client, simulator) do::
+
+    from repro.obs import runtime as _obs
+    ...
+    obs = _obs.ACTIVE
+    if obs is not None:
+        with obs.tracer.span("dataplane.process"):
+            ...
+
+When no session is enabled, ``ACTIVE`` is ``None`` and the cost is one
+module-attribute load plus an identity check — unmeasurable next to the
+microseconds the guarded work takes (``benchmarks/bench_core_ops.py``
+guards this claim).  :func:`enable` installs a fresh
+:class:`Observability` (new registry, new tracer), so runs are isolated by
+construction; :func:`session` is the context-manager form that guarantees
+teardown.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Callable, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Registry
+from repro.obs.span import Tracer
+
+#: The live session, or None.  Hot paths read this directly.
+ACTIVE: Optional["Observability"] = None
+
+
+class Observability:
+    """One run's registry + tracer, plus pre-bound hot-path instruments.
+
+    The pre-bound attributes exist so per-packet code paths pay one
+    attribute load instead of a registry dict lookup per event.
+    """
+
+    def __init__(self,
+                 clock: Optional[Callable[[], float]] = None,
+                 wall_clock: Optional[Callable[[], float]] = None,
+                 keep_events: bool = False):
+        clock = clock if clock is not None else time.perf_counter
+        wall = wall_clock if wall_clock is not None else time.perf_counter
+        self.registry = Registry()
+        self.tracer = Tracer(clock=clock, wall_clock=wall,
+                             registry=self.registry,
+                             keep_events=keep_events)
+        # Hot-path instruments (see module docstring).
+        self.client_latency = self.registry.histogram("client.request")
+        self.client_hits = self.registry.counter("client.cache_hits")
+        self.client_misses = self.registry.counter("client.cache_misses")
+        self.net_delivered = self.registry.counter("net.delivered")
+        self.net_dropped = self.registry.counter("net.dropped")
+        self.shim_update_rtt = self.registry.histogram("shim.cache_update.rtt")
+
+
+def enable(clock: Optional[Callable[[], float]] = None,
+           wall_clock: Optional[Callable[[], float]] = None,
+           keep_events: bool = False) -> Observability:
+    """Install a fresh observability session; error if one is live."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise ConfigurationError(
+            "an observability session is already enabled; disable() it "
+            "first (sessions do not nest, by design: run isolation)")
+    ACTIVE = Observability(clock=clock, wall_clock=wall_clock,
+                           keep_events=keep_events)
+    return ACTIVE
+
+
+def disable() -> Optional[Observability]:
+    """Tear down the live session (no-op when none); returns it."""
+    global ACTIVE
+    previous, ACTIVE = ACTIVE, None
+    return previous
+
+
+def is_enabled() -> bool:
+    return ACTIVE is not None
+
+
+def active() -> Optional[Observability]:
+    return ACTIVE
+
+
+@contextlib.contextmanager
+def session(clock: Optional[Callable[[], float]] = None,
+            wall_clock: Optional[Callable[[], float]] = None,
+            keep_events: bool = False) -> Iterator[Observability]:
+    """``with session(...) as obs:`` — enable now, always disable after."""
+    obs = enable(clock=clock, wall_clock=wall_clock, keep_events=keep_events)
+    try:
+        yield obs
+    finally:
+        disable()
+
+
+def sim_clock(sim) -> Callable[[], float]:
+    """Primary clock for discrete-event runs: the simulator's virtual time."""
+    return lambda: sim.now

@@ -10,6 +10,8 @@ Installed as ``netcache-repro`` (see pyproject), or run as
     netcache-repro validate            # DES vs model cross-check
     netcache-repro demo                # tiny end-to-end walkthrough
     netcache-repro chaos --seed 7      # reproducible fault-injection run
+    netcache-repro perf --scenario zipf99 --out BENCH_zipf99.json
+    netcache-repro perf --scenario zipf99 --compare BENCH_zipf99.json
 """
 
 from __future__ import annotations
@@ -190,6 +192,61 @@ def cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_perf(args) -> int:
+    """Run a named perf scenario; optionally snapshot and/or gate against a
+    prior snapshot (see repro.tools.perf)."""
+    import json
+
+    from repro.tools import perf
+
+    if args.list:
+        width = max(len(n) for n in perf.SCENARIOS)
+        for name in sorted(perf.SCENARIOS):
+            print(f"{name:<{width}}  {perf.SCENARIOS[name].description}")
+        return 0
+
+    baseline = None
+    if args.compare:
+        try:
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read snapshot {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        problems = perf.validate_snapshot(baseline)
+        if problems:
+            print(f"error: malformed snapshot {args.compare}:",
+                  file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 2
+
+    try:
+        snapshot = perf.run_scenario(args.scenario, seed=args.seed,
+                                     duration=args.duration,
+                                     metrics_out=args.metrics_out)
+    except Exception as exc:  # unknown scenario, bad duration, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print(f"perf: {args.scenario}", perf.render_snapshot(snapshot))
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(perf.snapshot_to_json(snapshot))
+        print(f"wrote {args.out}")
+    if args.metrics_out:
+        print(f"wrote {args.metrics_out}")
+
+    if baseline is not None:
+        diffs = perf.compare_snapshots(baseline, snapshot,
+                                       threshold=args.threshold)
+        print(perf.render_comparison(args.compare, diffs, args.threshold))
+        if diffs:
+            return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.tools.reportgen import generate
 
@@ -245,6 +302,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--runs", type=int, default=2,
                          help="replays to compare for determinism")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_perf = sub.add_parser(
+        "perf", help="run a perf scenario; snapshot and regression-gate")
+    from repro.tools.perf import DEFAULT_THRESHOLD, SCENARIOS as PERF_SCENARIOS
+
+    p_perf.add_argument("--scenario", choices=sorted(PERF_SCENARIOS),
+                        default="zipf99",
+                        help="named workload (default: zipf99; see --list)")
+    p_perf.add_argument("--seed", type=int, default=0)
+    p_perf.add_argument("--duration", type=float, default=None,
+                        help="override the scenario's run length (seconds)")
+    p_perf.add_argument("--out", default=None,
+                        help="write the snapshot JSON (BENCH_<scenario>.json)")
+    p_perf.add_argument("--metrics-out", default=None,
+                        help="also dump the full metric registry as JSONL")
+    p_perf.add_argument("--compare", default=None, metavar="SNAPSHOT",
+                        help="fail (exit 1) on regression vs a prior snapshot")
+    p_perf.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="allowed relative change for --compare "
+                             "(default: %(default)s)")
+    p_perf.add_argument("--list", action="store_true",
+                        help="list scenarios and exit")
+    p_perf.set_defaults(func=cmd_perf)
 
     p_rep = sub.add_parser("report",
                            help="generate a markdown results report")

@@ -1,0 +1,315 @@
+"""Perf harness: named scenarios, benchmark snapshots, regression gate.
+
+``netcache-repro perf --scenario zipf99 --out BENCH_zipf99.json`` runs one
+named discrete-event scenario with the observability layer enabled and
+writes a snapshot: throughput, hit ratio, per-component latency quantiles,
+and per-component wall-time shares.  ``--compare PRIOR.json`` re-runs the
+scenario and fails (exit 1) when a guarded metric regressed past the
+threshold — the gate later perf PRs run against their predecessor's
+snapshot.
+
+Everything under the snapshot's ``results`` key is a pure function of
+(scenario, seed): sim-time latencies, event counts, and span counts replay
+byte-identically (tested in ``tests/test_perf_cli.py``).  Wall-clock
+readings — elapsed time, events/second, per-component time shares — live
+under the ``wall`` key, which comparisons and determinism checks ignore.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.client.workload import Workload, WorkloadSpec
+from repro.errors import ConfigurationError
+from repro.sim.cluster import Cluster, ClusterConfig
+
+#: bump when the snapshot layout changes incompatibly.
+SNAPSHOT_SCHEMA = 1
+
+#: default allowed relative change before --compare fails.
+DEFAULT_THRESHOLD = 0.10
+
+
+@dataclasses.dataclass(frozen=True)
+class PerfScenario:
+    """One named, fully-determined perf workload."""
+
+    name: str
+    description: str
+    num_servers: int = 8
+    num_keys: int = 5_000
+    cache_items: int = 64
+    lookup_entries: int = 1024
+    value_slots: int = 1024
+    skew: float = 0.99
+    write_ratio: float = 0.0
+    value_size: int = 128
+    rate: float = 40_000.0
+    duration: float = 1.0
+    hot_threshold: int = 8
+    controller_update_interval: float = 0.01
+    stats_interval: float = 0.5
+
+
+SCENARIOS: Dict[str, PerfScenario] = {
+    s.name: s for s in (
+        PerfScenario(
+            "zipf99", "paper workload: Zipf 0.99 reads, warm 64-item cache"),
+        PerfScenario(
+            "uniform", "uniform reads (cache can't help much)",
+            skew=0.0, duration=0.5),
+        PerfScenario(
+            "writeheavy", "Zipf 0.99 with 30% writes (coherence path hot)",
+            write_ratio=0.3, duration=0.5),
+        PerfScenario(
+            "smoke", "tiny CI scenario: seconds, not minutes",
+            num_servers=4, num_keys=500, cache_items=16,
+            lookup_entries=256, value_slots=256,
+            rate=10_000.0, duration=0.2),
+    )
+}
+
+
+def run_scenario(name: str, seed: int = 0,
+                 duration: Optional[float] = None,
+                 metrics_out: Optional[str] = None) -> Dict:
+    """Run one scenario and return its snapshot dict."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown perf scenario {name!r}; choose from "
+            f"{', '.join(sorted(SCENARIOS))}")
+    if duration is not None:
+        scenario = dataclasses.replace(scenario, duration=duration)
+
+    workload = Workload(WorkloadSpec(
+        num_keys=scenario.num_keys, read_skew=scenario.skew,
+        write_ratio=scenario.write_ratio, seed=seed,
+        value_size=scenario.value_size))
+    cluster = Cluster(ClusterConfig(
+        num_servers=scenario.num_servers, cache_items=scenario.cache_items,
+        lookup_entries=scenario.lookup_entries,
+        value_slots=scenario.value_slots,
+        hot_threshold=scenario.hot_threshold,
+        controller_update_interval=scenario.controller_update_interval,
+        stats_interval=scenario.stats_interval, seed=seed))
+    cluster.load_workload_data(workload)
+
+    wall_start = time.perf_counter()
+    with obs.session(clock=obs.sim_clock(cluster.sim)) as o:
+        cluster.warm_cache(workload, scenario.cache_items)
+        client = cluster.add_workload_client(workload, rate=scenario.rate)
+        cluster.start_controller()
+        cluster.run(scenario.duration)
+        client.stop()
+        snapshot = _build_snapshot(scenario, seed, cluster, client, o,
+                                   elapsed=time.perf_counter() - wall_start)
+        if metrics_out:
+            with open(metrics_out, "w") as fh:
+                fh.write(obs.registry_to_jsonl(o.registry))
+                fh.write(obs.tracer_to_jsonl(o.tracer))
+    return snapshot
+
+
+#: component histograms embedded in the snapshot's latency section.
+LATENCY_COMPONENTS = (
+    "client.request",
+    "shim.cache_update.rtt",
+    "span.dataplane.process",
+    "span.controller.update_cache",
+    "span.shim.handle_write",
+)
+
+
+def _build_snapshot(scenario: PerfScenario, seed: int, cluster: Cluster,
+                    client, o: "obs.Observability", elapsed: float) -> Dict:
+    dataplane = cluster.switch.dataplane
+    controller = cluster.controller
+    sim = cluster.sim
+    received = client.received
+    latency = obs.latency_summary(
+        o.registry, [n for n in LATENCY_COMPONENTS if n in o.registry])
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "scenario": scenario.name,
+        "seed": seed,
+        "config": dataclasses.asdict(scenario),
+        "results": {
+            "queries_sent": client.sent,
+            "queries_received": received,
+            "delivery_ratio": received / client.sent if client.sent else 0.0,
+            "throughput_qps": received / scenario.duration,
+            "cache_hit_ratio": (client.cache_hits / received
+                                if received else 0.0),
+            "switch": {
+                "cache_hits": dataplane.cache_hits,
+                "cache_misses": dataplane.cache_misses,
+                "hit_ratio": dataplane.hit_ratio(),
+                "invalidations": dataplane.invalidations,
+                "updates_received": dataplane.updates_received,
+                "cache_size": dataplane.cache_size(),
+            },
+            "controller": {
+                "rounds": controller.rounds,
+                "reports_received": controller.reports_received,
+                "insertions": controller.insertions,
+                "evictions": controller.evictions,
+                "rejections": controller.rejections,
+            },
+            "net": {
+                "delivered": o.net_delivered.value,
+                "dropped": o.net_dropped.value,
+            },
+            "latency": latency,
+            "components": o.tracer.summary(),
+        },
+        "wall": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "elapsed_seconds": elapsed,
+            "events_per_second": (sim.delivered / elapsed
+                                  if elapsed > 0 else 0.0),
+            "time_shares": o.tracer.wall_shares(),
+            "totals": o.tracer.wall_totals(),
+            "python": platform.python_version(),
+        },
+    }
+
+
+def snapshot_to_json(snapshot: Dict) -> str:
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+
+
+def strip_volatile(snapshot: Dict) -> Dict:
+    """Drop the wall-clock section: what remains must replay identically."""
+    return {k: v for k, v in snapshot.items() if k != "wall"}
+
+
+def render_snapshot(snapshot: Dict) -> str:
+    """Human-readable digest of one snapshot."""
+    r = snapshot["results"]
+    lines = [
+        f"scenario {snapshot['scenario']} seed={snapshot['seed']} "
+        f"duration={snapshot['config']['duration']:g}s",
+        f"throughput   : {r['throughput_qps']:,.0f} qps "
+        f"({r['queries_received']}/{r['queries_sent']} answered)",
+        f"cache        : {r['cache_hit_ratio']:.1%} client hit ratio, "
+        f"{r['switch']['cache_size']} items cached",
+        f"controller   : {r['controller']['insertions']} insertions, "
+        f"{r['controller']['evictions']} evictions over "
+        f"{r['controller']['rounds']} rounds",
+        "latency (sim-time seconds):",
+    ]
+    for name, digest in sorted(r["latency"].items()):
+        if not digest["count"]:
+            continue
+        lines.append(
+            f"  {name:<30} n={digest['count']:<8} "
+            f"p50={digest['p50']:.3e} p90={digest['p90']:.3e} "
+            f"p99={digest['p99']:.3e} p999={digest['p999']:.3e}")
+    shares = snapshot.get("wall", {}).get("time_shares", {})
+    if shares:
+        lines.append("wall-time shares (exclusive):")
+        for name, share in sorted(shares.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<30} {share:6.1%}")
+    return "\n".join(lines)
+
+
+# -- regression gate --------------------------------------------------------------
+
+#: (path into the snapshot, direction) pairs guarded by --compare.
+#: "higher" metrics may not drop, "lower" metrics may not grow, past the
+#: threshold.
+GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("results", "throughput_qps"), "higher"),
+    (("results", "delivery_ratio"), "higher"),
+    (("results", "cache_hit_ratio"), "higher"),
+    (("results", "latency", "client.request", "p50"), "lower"),
+    (("results", "latency", "client.request", "p99"), "lower"),
+)
+
+
+def _get_path(snapshot: Dict, path: Tuple[str, ...]):
+    cur = snapshot
+    for part in path:
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def validate_snapshot(snapshot: Dict) -> List[str]:
+    """Structural checks; returns readable problems (empty = well-formed)."""
+    problems = []
+    if not isinstance(snapshot, dict):
+        return ["snapshot is not a JSON object"]
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        problems.append(
+            f"schema {snapshot.get('schema')!r} != {SNAPSHOT_SCHEMA}")
+    for field in ("scenario", "seed", "config", "results"):
+        if field not in snapshot:
+            problems.append(f"missing top-level field {field!r}")
+    for path, _direction in GUARDED_METRICS:
+        value = _get_path(snapshot, path)
+        if not isinstance(value, (int, float)):
+            problems.append(
+                f"missing or non-numeric metric {'.'.join(path)}")
+    return problems
+
+
+def compare_snapshots(base: Dict, new: Dict,
+                      threshold: float = DEFAULT_THRESHOLD) -> List[str]:
+    """Regression diffs of *new* against *base*; empty list = pass.
+
+    The comparison is relative: a "higher is better" metric fails when it
+    drops more than ``threshold`` below the baseline, a "lower is better"
+    metric when it grows more than ``threshold`` above it.
+    """
+    if threshold < 0:
+        raise ConfigurationError("threshold must be non-negative")
+    diffs = []
+    if base.get("scenario") != new.get("scenario"):
+        diffs.append(f"scenario mismatch: baseline ran "
+                     f"{base.get('scenario')!r}, this run {new.get('scenario')!r}")
+        return diffs
+    for path, direction in GUARDED_METRICS:
+        dotted = ".".join(path)
+        old = _get_path(base, path)
+        cur = _get_path(new, path)
+        if old is None or cur is None:
+            diffs.append(f"metric {dotted} missing from "
+                         f"{'baseline' if old is None else 'this run'}")
+            continue
+        if old == cur:
+            continue
+        if old == 0:
+            # Nothing to scale by: any appearance of a worse value fails.
+            worse = cur < old if direction == "higher" else cur > old
+            if worse:
+                diffs.append(f"{dotted}: {old:g} -> {cur:g} "
+                             f"(baseline was zero)")
+            continue
+        change = (cur - old) / abs(old)
+        if direction == "higher" and change < -threshold:
+            diffs.append(
+                f"{dotted}: {old:g} -> {cur:g} ({change:+.1%} worse than "
+                f"-{threshold:.1%} allowance)")
+        elif direction == "lower" and change > threshold:
+            diffs.append(
+                f"{dotted}: {old:g} -> {cur:g} ({change:+.1%} worse than "
+                f"+{threshold:.1%} allowance)")
+    return diffs
+
+
+def render_comparison(base_path: str, diffs: List[str],
+                      threshold: float) -> str:
+    if not diffs:
+        return (f"no regressions vs {base_path} "
+                f"(threshold {threshold:.1%})")
+    lines = [f"REGRESSION vs {base_path} (threshold {threshold:.1%}):"]
+    lines.extend(f"  {d}" for d in diffs)
+    return "\n".join(lines)

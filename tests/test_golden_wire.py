@@ -1,0 +1,110 @@
+"""Golden-file tests for the wire format.
+
+The canonical packets below are serialized once into ``tests/golden/*.bin``
+and committed.  The tests assert today's :func:`repro.net.wire.encode`
+still produces those exact bytes and that decoding them recovers the
+original packet — so any change to the byte layout (field order, widths,
+endianness, flags) shows up as a golden-file diff instead of silently
+breaking interop with previously captured traces.
+
+Regenerate after an *intentional* format change with::
+
+    PYTHONPATH=src python tests/test_golden_wire.py --regen
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.net.packet import (
+    Packet,
+    make_cache_update,
+    make_delete,
+    make_get,
+    make_put,
+)
+from repro.net.protocol import Op
+from repro.net.wire import MAGIC, decode, encode
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+KEY = bytes(range(16))  # 00 01 .. 0f — exactly KEY_SIZE bytes
+VALUE = b"netcache-golden-value"
+
+
+def _pin(pkt: Packet) -> Packet:
+    """Fix the process-global packet id so the IPv4 id field is stable."""
+    pkt.pkt_id = 0
+    return pkt
+
+
+def _hot_report() -> Packet:
+    # No factory helper: the switch builds these itself when the heavy
+    # hitter detector fires (§4.4), so construct one directly.
+    return _pin(Packet(src=1, dst=100, udp=True, op=Op.HOT_REPORT,
+                       seq=7, key=KEY))
+
+
+CANONICAL = {
+    "get": lambda: _pin(make_get(2, 1, KEY, seq=1)),
+    "get_reply_cached": lambda: _pin(_served(
+        Packet(src=1, dst=2, udp=True, op=Op.GET_REPLY, seq=1,
+               key=KEY, value=VALUE))),
+    "put": lambda: _pin(make_put(2, 1, KEY, VALUE, seq=2)),
+    "delete": lambda: _pin(make_delete(2, 1, KEY, seq=3)),
+    "cache_update": lambda: _pin(make_cache_update(1, 0, KEY, VALUE, seq=4)),
+    "hot_report": _hot_report,
+}
+
+
+def _served(pkt: Packet) -> Packet:
+    pkt.served_by_cache = True
+    return pkt
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.bin"
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL))
+def test_encode_matches_golden_bytes(name):
+    expected = _golden_path(name).read_bytes()
+    assert encode(CANONICAL[name]()) == expected
+
+
+@pytest.mark.parametrize("name", sorted(CANONICAL))
+def test_golden_bytes_decode_to_original(name):
+    data = _golden_path(name).read_bytes()
+    pkt = decode(data)
+    want = CANONICAL[name]()
+    for field in ("src", "dst", "src_port", "dst_port", "udp",
+                  "op", "seq", "key", "value", "served_by_cache"):
+        assert getattr(pkt, field) == getattr(want, field), field
+    # And the round trip is byte-identical.
+    assert encode(_pin(pkt)) == data
+
+
+def test_golden_bytes_carry_magic():
+    for name in CANONICAL:
+        assert MAGIC.to_bytes(2, "big") in _golden_path(name).read_bytes()
+
+
+def test_golden_set_is_exactly_the_canonical_set():
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.bin")}
+    assert on_disk == set(CANONICAL)
+
+
+def _regen():
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, build in sorted(CANONICAL.items()):
+        data = encode(build())
+        _golden_path(name).write_bytes(data)
+        print(f"wrote {_golden_path(name)} ({len(data)} bytes)")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        sys.exit("usage: python tests/test_golden_wire.py --regen")

@@ -1,0 +1,120 @@
+"""Property tests for the streaming histogram (Hypothesis).
+
+The headline property: on random inputs, the histogram's quantile
+estimates stay within bucket-width error of :func:`statistics.quantiles`.
+The estimator returns the upper edge of the bucket holding the order
+statistic at rank ``ceil(q*n)`` (clamped to [min, max]), so it is within
+one bucket width of that order statistic; ``statistics.quantiles`` with
+``method="inclusive"`` interpolates between the two order statistics
+bracketing ``q``, so the total allowed error is one bucket width plus the
+gap between those bracketing order statistics.
+"""
+
+import json
+import math
+import statistics
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import registry_from_jsonl, registry_to_jsonl
+from repro.obs.metrics import Histogram, exponential_edges, linear_edges
+from repro.obs.registry import Registry
+
+#: fixed-width buckets covering the sampled domain with width 1.
+WIDTH = 1.0
+EDGES = linear_edges(0.0, 1000.0, WIDTH)
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=300)
+
+quantile_points = st.floats(min_value=0.01, max_value=0.999)
+
+
+def _bucket_width_at(hist: Histogram, v: float) -> float:
+    lower, upper = hist.bucket_bounds(v)
+    if math.isinf(lower) or math.isinf(upper):
+        return WIDTH
+    return upper - lower
+
+
+@given(data=values, q=quantile_points)
+@settings(max_examples=200)
+def test_quantile_within_bucket_width_of_statistics(data, q):
+    hist = Histogram("h", edges=EDGES)
+    for v in data:
+        hist.observe(v)
+    est = hist.quantile(q)
+
+    srt = sorted(data)
+    n = len(srt)
+    # statistics.quantiles(method="inclusive") interpolates between the
+    # order statistics bracketing position q*(n-1).
+    exact = statistics.quantiles(srt, n=1000, method="inclusive")[
+        max(0, min(998, round(q * 1000) - 1))]
+    j = math.floor(q * (n - 1))
+    bracket_gap = srt[min(j + 1, n - 1)] - srt[j]
+    tolerance = _bucket_width_at(hist, exact) + bracket_gap + 1e-9
+    assert abs(est - exact) <= tolerance
+
+
+@given(data=values, q=quantile_points)
+@settings(max_examples=200)
+def test_quantile_within_one_bucket_of_order_statistic(data, q):
+    """The core guarantee, stated against the exact empirical quantile."""
+    hist = Histogram("h", edges=EDGES)
+    for v in data:
+        hist.observe(v)
+    rank = max(1, math.ceil(q * len(data)))
+    order_stat = sorted(data)[rank - 1]
+    est = hist.quantile(q)
+    assert abs(est - order_stat) <= _bucket_width_at(hist, order_stat) + 1e-9
+
+
+@given(data=values)
+@settings(max_examples=100)
+def test_histogram_accounting_invariants(data):
+    hist = Histogram("h", edges=EDGES)
+    for v in data:
+        hist.observe(v)
+    assert hist.count == len(data)
+    assert sum(hist.counts) == len(data)
+    assert hist.min == min(data)
+    assert hist.max == max(data)
+    assert hist.sum == sum(data)  # same float addition order
+    # Estimates never leave the observed range.
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        assert hist.min <= hist.quantile(q) <= hist.max
+
+
+@given(data=values, qa=quantile_points, qb=quantile_points)
+@settings(max_examples=100)
+def test_quantiles_monotone(data, qa, qb):
+    hist = Histogram("h", edges=exponential_edges(1e-3, 2000.0))
+    for v in data:
+        hist.observe(v)
+    lo, hi = sorted((qa, qb))
+    assert hist.quantile(lo) <= hist.quantile(hi)
+
+
+@given(data=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                               allow_nan=False, allow_infinity=False),
+                     min_size=0, max_size=100),
+       count=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=100)
+def test_jsonl_export_round_trips_random_registries(data, count):
+    registry = Registry()
+    registry.counter("c").inc(count)
+    registry.gauge("g").set(count / 3.0)
+    hist = registry.histogram("h", edges=linear_edges(-1e6, 1e6, 1e5))
+    for v in data:
+        hist.observe(v)
+    text = registry_to_jsonl(registry)
+    rebuilt = registry_from_jsonl(text)
+    assert registry_to_jsonl(rebuilt) == text
+    assert rebuilt.collect() == registry.collect()
+    # And the text really is line-delimited JSON.
+    for line in text.strip().splitlines():
+        json.loads(line)
