@@ -23,6 +23,7 @@ debugging sessions can inspect them.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
@@ -51,7 +52,8 @@ class Violation:
 
 
 class _KeyHistory:
-    __slots__ = ("commits", "in_flight", "written")
+    __slots__ = ("commits", "in_flight", "written", "committed",
+                 "applied_at")
 
     def __init__(self):
         #: (commit_time, value-or-_DELETED), ascending by time.
@@ -59,6 +61,16 @@ class _KeyHistory:
         #: client seq -> value of an unacknowledged write.
         self.in_flight: Dict[Tuple[int, int], object] = {}
         self.written = False
+        #: tags whose write already committed — a late retransmission of
+        #: the same write (client retry) must not re-enter in_flight, and
+        #: its dedup-resent reply must not append a second, later commit
+        #: that would mask newer values.
+        self.committed = set()
+        #: tag -> time of the first delivery to the packet's final
+        #: destination: the server's apply moment.  Reply delivery time is
+        #: a poor commit estimate under retries — a lost reply resurfaces
+        #: much later as a dedup replay, misordering concurrent writes.
+        self.applied_at: Dict[Tuple[int, int], float] = {}
 
     def committed_at(self, t: float):
         """Newest committed value at time *t* (None if none yet)."""
@@ -77,6 +89,7 @@ class CoherenceMonitor:
     def __init__(self, sim: Simulator):
         self._histories: Dict[bytes, _KeyHistory] = {}
         self._reads: Dict[Tuple[int, int], float] = {}
+        self._reads_done: set = set()
         self.violations: List[Violation] = []
         self.reads_checked = 0
         self.writes_seen = 0
@@ -99,32 +112,55 @@ class CoherenceMonitor:
                      pkt: Packet) -> None:
         if pkt.op == Op.GET:
             # First hop of a read: remember when it entered the network.
-            self._reads.setdefault((pkt.src, pkt.seq), time)
+            # Checked reads stay checked — a late retransmission must not
+            # re-arm the tag with a later issue time.
+            tag = (pkt.src, pkt.seq)
+            if tag not in self._reads_done:
+                self._reads.setdefault(tag, time)
         elif pkt.op in (Op.PUT, Op.PUT_CACHED):
             tag = (pkt.src, pkt.seq)
             hist = self._history(pkt.key)
-            if tag not in hist.in_flight:
+            if tag not in hist.in_flight and tag not in hist.committed:
                 hist.in_flight[tag] = pkt.value
                 hist.written = True
                 self.writes_seen += 1
+            self._note_apply(hist, tag, time, dst, pkt)
         elif pkt.op in (Op.DELETE, Op.DELETE_CACHED):
             tag = (pkt.src, pkt.seq)
             hist = self._history(pkt.key)
-            if tag not in hist.in_flight:
+            if tag not in hist.in_flight and tag not in hist.committed:
                 hist.in_flight[tag] = _DELETED
                 hist.written = True
                 self.writes_seen += 1
+            self._note_apply(hist, tag, time, dst, pkt)
         elif pkt.op in (Op.PUT_REPLY, Op.DELETE_REPLY):
-            # Replies are delivered hop by hop; the first hop (closest to
-            # the server) is the best commit-time estimate, and popping the
-            # in-flight entry makes later hops no-ops.
+            # Replies are delivered hop by hop; popping the in-flight entry
+            # makes later hops (and dedup-replayed replies) no-ops.
             tag = (pkt.dst, pkt.seq)
             hist = self._history(pkt.key)
             value = hist.in_flight.pop(tag, None)
             if value is not None:
-                hist.commits.append((time, value))
+                hist.committed.add(tag)
+                # Commit at the apply moment when we saw it; the reply only
+                # confirms it happened.  (Apply-ordering matters: a retried
+                # older write can legally land after a concurrent newer
+                # one, and its replayed reply arrives later still.)
+                commit_time = hist.applied_at.pop(tag, time)
+                idx = bisect.bisect_right(
+                    [t for t, _ in hist.commits], commit_time)
+                hist.commits.insert(idx, (commit_time, value))
         elif pkt.op == Op.GET_REPLY:
             self._check_read(time, pkt)
+
+    @staticmethod
+    def _note_apply(hist: _KeyHistory, tag: Tuple[int, int], time: float,
+                    hop_dst: int, pkt: Packet) -> None:
+        """Record when a write first reached its final destination — the
+        server applies it then (retransmissions deduplicate, so later
+        arrivals are no-ops)."""
+        if hop_dst == pkt.dst and tag not in hist.applied_at \
+                and tag not in hist.committed:
+            hist.applied_at[tag] = time
 
     # -- the invariant -----------------------------------------------------------
 
@@ -135,6 +171,7 @@ class CoherenceMonitor:
         t_req = self._reads.pop((pkt.dst, pkt.seq), None)
         if t_req is None:
             return  # already checked on an earlier hop of this reply
+        self._reads_done.add((pkt.dst, pkt.seq))
         self.reads_checked += 1
 
         allowed: List = []

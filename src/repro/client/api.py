@@ -26,15 +26,19 @@ from repro.constants import CLIENT_OVERHEAD
 from repro.errors import ConfigurationError, SimulationError
 from repro.kvstore.partition import HashPartitioner
 from repro.net.packet import Packet, make_delete, make_get, make_put
-from repro.net.protocol import Op
+from repro.net.protocol import WRITE_OPS, Op
 from repro.net.simulator import Node
 from repro.obs import runtime as _obs
+from repro.reliability.retry import TIMED_OUT, RetryPolicy
 
+#: Callbacks receive the reply value (or :data:`TIMED_OUT` when the retry
+#: budget is exhausted or the request is dropped as stale) and the latency.
 ReplyCallback = Callable[[Optional[bytes], float], None]
 
 
 class _Outstanding:
-    __slots__ = ("op", "key", "sent_at", "callback")
+    __slots__ = ("op", "key", "sent_at", "callback",
+                 "template", "retries", "timer", "rng")
 
     def __init__(self, op: Op, key: bytes, sent_at: float,
                  callback: Optional[ReplyCallback]):
@@ -42,21 +46,31 @@ class _Outstanding:
         self.key = key
         self.sent_at = sent_at
         self.callback = callback
+        # Retry state (populated only when a RetryPolicy is active).
+        self.template = None   # pristine copy to retransmit from
+        self.retries = 0
+        self.timer = None      # pending timeout Event
+        self.rng = None        # per-request jitter source
 
 
 class NetCacheClient(Node):
     """Asynchronous key-value client attached below/above a NetCache rack."""
 
     def __init__(self, node_id: int, gateway: int,
-                 partitioner: HashPartitioner):
+                 partitioner: HashPartitioner,
+                 retry_policy: Optional[RetryPolicy] = None):
         super().__init__(node_id)
         self.gateway = gateway
         self.partitioner = partitioner
+        self.retry_policy = retry_policy
         self._seq = itertools.count(1)
         self._outstanding: Dict[int, _Outstanding] = {}
         self.sent = 0
         self.received = 0
         self.cache_hits = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.stale_drops = 0
         self.latencies: List[float] = []
         #: cap on retained latency samples (reservoir-free truncation).
         self.max_latency_samples = 1_000_000
@@ -93,15 +107,62 @@ class NetCacheClient(Node):
 
     def _send(self, pkt: Packet, callback: Optional[ReplyCallback]) -> None:
         pkt.created_at = self.sim.now
-        self._outstanding[pkt.seq] = _Outstanding(pkt.op, pkt.key,
-                                                  self.sim.now, callback)
+        entry = _Outstanding(pkt.op, pkt.key, self.sim.now, callback)
+        policy = self.retry_policy
+        if policy is not None:
+            if pkt.op in WRITE_OPS:
+                # Idempotency token: every retransmission carries the same
+                # one so the server-side dedup window applies it once.
+                pkt.token = pkt.seq
+            # The switch mutates request packets in place (turn_around), so
+            # keep a pristine copy to retransmit from.
+            entry.template = pkt.copy()
+            entry.rng = policy.make_rng(pkt.seq)
+            entry.timer = self.sim.schedule(
+                policy.delay(0, entry.rng), self._on_timeout, pkt.seq)
+        self._outstanding[pkt.seq] = entry
         self.sent += 1
         self.sim.transmit(self.node_id, self.gateway, pkt)
+
+    def _on_timeout(self, seq: int) -> None:
+        entry = self._outstanding.get(seq)
+        if entry is None:
+            return  # answered between scheduling and firing
+        policy = self.retry_policy
+        if entry.retries >= policy.max_retries:
+            self._expire(seq, entry)
+            return
+        entry.retries += 1
+        self.retransmissions += 1
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.client_retries.inc()
+        self.sim.transmit(self.node_id, self.gateway, entry.template.copy())
+        entry.timer = self.sim.schedule(
+            policy.delay(entry.retries, entry.rng), self._on_timeout, seq)
+
+    def _expire(self, seq: int, entry: _Outstanding,
+                stale: bool = False) -> None:
+        """Give up on *seq*: deliver the TIMED_OUT sentinel to its callback."""
+        del self._outstanding[seq]
+        if entry.timer is not None:
+            entry.timer.cancel()
+        if stale:
+            self.stale_drops += 1
+        else:
+            self.timeouts += 1
+        obs = _obs.ACTIVE
+        if obs is not None:
+            (obs.client_stale_drops if stale else obs.client_timeouts).inc()
+        if entry.callback is not None:
+            entry.callback(TIMED_OUT, self.sim.now - entry.sent_at)
 
     def handle_packet(self, pkt: Packet) -> None:
         entry = self._outstanding.pop(pkt.seq, None)
         if entry is None:
             return  # duplicate or late reply
+        if entry.timer is not None:
+            entry.timer.cancel()
         self.received += 1
         if pkt.served_by_cache:
             self.cache_hits += 1
@@ -121,11 +182,16 @@ class NetCacheClient(Node):
         return len(self._outstanding)
 
     def drop_stale(self, older_than: float) -> int:
-        """Forget requests sent before *older_than* (treat as lost)."""
-        stale = [seq for seq, e in self._outstanding.items()
+        """Expire requests sent before *older_than* (treat as lost).
+
+        Each dropped entry's callback is invoked with :data:`TIMED_OUT` and
+        its retry timer cancelled, so callers waiting on a reply are
+        released instead of silently forgotten.
+        """
+        stale = [(seq, e) for seq, e in self._outstanding.items()
                  if e.sent_at < older_than]
-        for seq in stale:
-            del self._outstanding[seq]
+        for seq, entry in stale:
+            self._expire(seq, entry, stale=True)
         return len(stale)
 
 
@@ -142,6 +208,8 @@ class SyncClient:
         while "reply" not in seq_box:
             if sim.now >= deadline or not sim.events.step():
                 raise SimulationError("request timed out (packet lost?)")
+        if seq_box["reply"] is TIMED_OUT:
+            raise SimulationError("request exhausted its retry budget")
         return seq_box["reply"]
 
     def _call(self, issue) -> Tuple[Optional[bytes], float]:
@@ -181,14 +249,22 @@ class WorkloadClient(NetCacheClient):
     def __init__(self, node_id: int, gateway: int,
                  partitioner: HashPartitioner, workload: Workload,
                  rate: float, controller: Optional[AimdRateController] = None,
-                 control_interval: float = 0.1):
-        super().__init__(node_id, gateway, partitioner)
+                 control_interval: float = 0.1,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 versioned_writes: bool = False):
+        super().__init__(node_id, gateway, partitioner,
+                         retry_policy=retry_policy)
         if rate <= 0:
             raise ConfigurationError("rate must be positive")
         self.workload = workload
         self.rate = rate
         self.rate_controller = controller
         self.control_interval = control_interval
+        #: When set, each PUT writes a distinct value (a write-counter stamp
+        #: spliced into the workload value) so lost or doubly-applied writes
+        #: are distinguishable by the chaos invariants.
+        self.versioned_writes = versioned_writes
+        self._write_counter = 0
         self._interval_sent = 0
         self._interval_received = 0
         self.running = False
@@ -211,15 +287,31 @@ class WorkloadClient(NetCacheClient):
         if op == Op.GET:
             self.get(key)
         elif op == Op.PUT:
-            self.put(key, self.workload.value_for(key))
+            self.put(key, self._next_value(key))
         else:
             self.delete(key)
         self._interval_sent += 1
         self.sim.schedule(1.0 / self.rate, self._send_tick)
 
+    def _next_value(self, key: bytes) -> bytes:
+        value = self.workload.value_for(key)
+        if self.versioned_writes:
+            stamp = b"#%010d" % self._write_counter
+            self._write_counter += 1
+            if len(value) > len(stamp):
+                value = value[:-len(stamp)] + stamp  # length-preserving
+            else:
+                value = stamp
+        return value
+
     def handle_packet(self, pkt: Packet) -> None:
-        self._interval_received += 1
+        # Count only replies that match a live request, *after* the base
+        # class decides — duplicates from retries must not inflate the
+        # loss-feedback numerator.
+        matched = pkt.seq in self._outstanding
         super().handle_packet(pkt)
+        if matched:
+            self._interval_received += 1
 
     def _control_tick(self) -> None:
         if not self.running:

@@ -14,7 +14,9 @@ statistics module every ``stats_interval`` seconds.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from collections import deque
 
 from repro.constants import (
     COUNTER_SAMPLE_SIZE,
@@ -26,6 +28,8 @@ from repro.errors import ConfigurationError
 from repro.kvstore.partition import HashPartitioner
 from repro.kvstore.server import StorageServer
 from repro.obs import runtime as _obs
+from repro.reliability.failure import FailureDetector
+from repro.reliability.lease import LeaseTable
 
 
 class CacheController:
@@ -52,6 +56,14 @@ class CacheController:
         Maps a server id to this switch's egress port toward it.  Defaults
         to the switch's own neighbour table (a ToR); a spine cache passes a
         resolver that routes through the server's rack.
+    async_insertions:
+        When True (set by :class:`~repro.sim.cluster.Cluster`), the
+        ``finish_insertion`` control RPC completes ``insertion_latency``
+        seconds later under an insertion lease instead of synchronously —
+        modelling the real fetch→finish window so a server crash inside it
+        is survivable (the lease expires and the insertion is rolled
+        back).  Off by default: harnesses that drive the controller
+        without running the simulator rely on synchronous insertions.
     """
 
     def __init__(self,
@@ -65,11 +77,22 @@ class CacheController:
                  seed: int = 42,
                  port_resolver=None,
                  reorganize_interval: float = 10.0,
-                 fragmentation_threshold: float = 0.5):
+                 fragmentation_threshold: float = 0.5,
+                 heartbeat_interval: float = 0.005,
+                 failure_threshold: int = 3,
+                 lease_timeout: float = 0.005,
+                 insertion_latency: float = 200e-6,
+                 async_insertions: bool = False,
+                 server_probe: Optional[Callable[[int], bool]] = None):
         if cache_capacity <= 0:
             raise ConfigurationError("cache_capacity must be positive")
         if sample_size <= 0:
             raise ConfigurationError("sample_size must be positive")
+        if heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be positive")
+        if lease_timeout <= insertion_latency:
+            raise ConfigurationError(
+                "lease_timeout must exceed insertion_latency")
         self.switch = switch
         self.partitioner = partitioner
         self.servers = servers
@@ -85,12 +108,24 @@ class CacheController:
         self._pending: List[bytes] = []
         self._pending_set = set()
         switch.hot_key_handler = self.report_hot_key
+        # Reliability: failure detector, insertion leases, degraded keys.
+        self.heartbeat_interval = heartbeat_interval
+        self.failure_threshold = failure_threshold
+        self.insertion_latency = insertion_latency
+        self.async_insertions = async_insertions
+        self._server_probe = server_probe
+        self.detector: Optional[FailureDetector] = None
+        self.leases = LeaseTable(lease_timeout)
+        self._degraded_queue: Deque[Tuple[int, bytes]] = deque()
         # Telemetry.
         self.reports_received = 0
         self.insertions = 0
         self.evictions = 0
         self.rejections = 0
         self.rounds = 0
+        self.skipped_dead = 0
+        self.insertion_aborts = 0
+        self.degraded_evictions = 0
         self._running = False
 
     # -- data-plane reports -------------------------------------------------------
@@ -111,10 +146,16 @@ class CacheController:
             return
         self._running = True
         sim = self.switch.sim
+        if self.detector is None:
+            self.detector = FailureDetector(
+                list(self.servers), self._probe_server,
+                threshold=self.failure_threshold)
         sim.schedule(self.update_interval, self._update_tick)
         sim.schedule(self.stats_interval, self._reset_tick)
+        sim.schedule(self.heartbeat_interval, self._heartbeat_tick)
         if self.reorganize_interval > 0:
             sim.schedule(self.reorganize_interval, self._reorganize_tick)
+        self._process_degraded()
 
     def stop(self) -> None:
         self._running = False
@@ -130,6 +171,45 @@ class CacheController:
             return
         self.switch.reset_statistics()
         self.switch.sim.schedule(self.stats_interval, self._reset_tick)
+
+    def _probe_server(self, server_id: int) -> bool:
+        """Control-plane reachability of one server right now."""
+        if self._server_probe is not None:
+            return self._server_probe(server_id)
+        sim = self.switch.sim
+        return sim is None or not sim.node_is_down(server_id)
+
+    def _heartbeat_tick(self) -> None:
+        """One failure-detector round plus insertion-lease reaping."""
+        if not self._running:
+            return
+        sim = self.switch.sim
+        now = sim.now
+        before = len(self.detector.failover_latencies)
+        self.detector.poll(now)
+        obs = _obs.ACTIVE
+        if obs is not None:
+            for latency in self.detector.failover_latencies[before:]:
+                obs.failover_latency.observe(latency)
+        self._reap_leases(now)
+        sim.schedule(self.heartbeat_interval, self._heartbeat_tick)
+
+    def _reap_leases(self, now: float) -> None:
+        for lease in self.leases.expired(now):
+            if not self._probe_server(lease.server):
+                # The abort RPC needs the server reachable to release its
+                # blocked writes; keep the lease alive until then.
+                self.leases.extend(lease.key, now)
+                continue
+            self.leases.abort(lease.key)
+            self.insertion_aborts += 1
+            # Roll the partial insertion back: the switch must not serve a
+            # key whose owning shim thinks the insertion failed.
+            if self.switch.dataplane.is_cached(lease.key):
+                self.switch.evict(lease.key)
+            server = self.servers.get(lease.server)
+            if server is not None:
+                server.abort_insertion(lease.key)
 
     def _reorganize_tick(self) -> None:
         """Periodic memory reorganization (§4.4.2): repack pipes whose
@@ -227,7 +307,23 @@ class CacheController:
         if server is None:
             self.rejections += 1
             return False
+        # Skip-dead-server admission: don't start an insertion whose owner
+        # the failure detector has declared dead, and treat an unreachable
+        # owner as a lost fetch RPC (the shim never saw it, so there is
+        # nothing to roll back).
+        if self.detector is not None and not self.detector.is_alive(server_id):
+            self.skipped_dead += 1
+            self.rejections += 1
+            return False
+        if not self._probe_server(server_id):
+            self.rejections += 1
+            return False
+        if self.leases.get(key) is not None:
+            # A previous insertion of this key is still completing/aborting.
+            self.rejections += 1
+            return False
         value = server.fetch_for_insertion(key)
+        installed = False
         try:
             if not value:
                 self.rejections += 1
@@ -243,8 +339,29 @@ class CacheController:
                     self.rejections += 1
                     return False
             self.insertions += 1
+            installed = True
             return True
         finally:
+            sim = self.switch.sim
+            if installed and self.async_insertions and sim is not None:
+                # Model the finish_insertion control RPC: it lands
+                # insertion_latency later, bounded by a lease so a server
+                # crash inside the window cannot wedge its blocked writes.
+                self.leases.grant(key, server_id, sim.now)
+                sim.schedule(self.insertion_latency,
+                             self._complete_insertion, key, server_id)
+            else:
+                server.finish_insertion(key)
+
+    def _complete_insertion(self, key: bytes, server_id: int) -> None:
+        lease = self.leases.get(key)
+        if lease is None:
+            return  # already aborted by the lease reaper
+        if not self._probe_server(server_id):
+            return  # RPC lost; the reaper aborts once the lease expires
+        self.leases.complete(key)
+        server = self.servers.get(server_id)
+        if server is not None:
             server.finish_insertion(key)
 
     def _defragment_pipe(self, pipe: int) -> None:
@@ -267,17 +384,59 @@ class CacheController:
             entry["bitmap"] = new.bitmap
             entry["value_index"] = new.index
 
+    # -- degraded keys (shim cache-update retry exhaustion) -----------------------------
+
+    def report_degraded_key(self, server_id: int, key: bytes) -> None:
+        """A shim exhausted its cache-update retries for *key*: evict the
+        stale switch entry and ack the shim so it can leave write-around
+        mode.  Queued while the controller is stalled, processed on
+        resume."""
+        self._degraded_queue.append((server_id, key))
+        if self._running:
+            self._process_degraded()
+
+    def _process_degraded(self) -> None:
+        while self._degraded_queue:
+            server_id, key = self._degraded_queue.popleft()
+            if self.switch.dataplane.is_cached(key):
+                self.switch.evict(key)
+                self.evictions += 1
+            self.degraded_evictions += 1
+            self._ack_degraded(server_id, key)
+
+    def _ack_degraded(self, server_id: int, key: bytes) -> None:
+        """Deliver the recovery ack once the server is reachable (the ack
+        is a control RPC: it cannot cross a partition or reach a crashed
+        server, so retry on the heartbeat cadence until it can)."""
+        server = self.servers.get(server_id)
+        if server is None:
+            return
+        sim = self.switch.sim
+        if sim is None:
+            server.shim.clear_degraded(key)
+            return
+        if not self._probe_server(server_id):
+            sim.schedule(self.heartbeat_interval, self._ack_degraded,
+                         server_id, key)
+            return
+        sim.schedule(self.insertion_latency, server.shim.clear_degraded, key)
+
     # -- bulk operations for experiment setup ------------------------------------------
 
     def preload(self, keys: List[bytes]) -> int:
         """Install *keys* directly (experiments start with a warm cache,
-        §7.4).  Returns the number actually installed."""
+        §7.4).  Returns the number actually installed.  Always synchronous:
+        setup predates traffic, so there is no window worth modelling."""
         installed = 0
-        for key in keys:
-            if self.switch.dataplane.is_cached(key):
-                continue
-            if self.switch.dataplane.cache_size() >= self.cache_capacity:
-                break
-            if self._insert(key):
-                installed += 1
+        previous, self.async_insertions = self.async_insertions, False
+        try:
+            for key in keys:
+                if self.switch.dataplane.is_cached(key):
+                    continue
+                if self.switch.dataplane.cache_size() >= self.cache_capacity:
+                    break
+                if self._insert(key):
+                    installed += 1
+        finally:
+            self.async_insertions = previous
         return installed

@@ -1,6 +1,6 @@
 """Continuous invariant checking for chaos runs.
 
-Four checkers watch a live rack and record (never raise) violations of
+The checkers watch a live rack and record (never raise) violations of
 NetCache's core guarantees:
 
 * :class:`StaleReadInvariant` — no read reply carries a value older than
@@ -14,7 +14,11 @@ NetCache's core guarantees:
 * :class:`AgreementInvariant` — once traffic has drained, every *valid*
   cached value equals the owning server's stored value;
 * :class:`CounterMonotonicityInvariant` — a cached key's hit counter never
-  decreases between statistics resets (§4.4.3).
+  decreases between statistics resets (§4.4.3);
+* :class:`ExactlyOnceInvariant` — a retried (tokened) write applies to the
+  store exactly once, however many times the client retransmits it;
+* :class:`WriteDurabilityInvariant` — no acknowledged write is lost: after
+  quiesce every stored value is explained by the key's write history.
 
 A :class:`InvariantSuite` drives periodic ``on_tick`` checks from the
 simulator clock and one final ``on_quiesce`` pass after the run settles.
@@ -129,6 +133,16 @@ class PendingWriteInvariant(InvariantChecker):
                        f"server={sid} still has "
                        f"{server.shim.blocked_writes} blocked writes "
                        f"after quiesce")
+            if server.shim.degraded_keys:
+                degraded = sorted(server.shim.degraded_keys)
+                report(now, self.name,
+                       f"server={sid} still degraded after quiesce: "
+                       f"{[k.hex() for k in degraded]}")
+        controller = getattr(self.cluster, "controller", None)
+        if controller is not None and len(controller.leases):
+            report(now, self.name,
+                   f"{len(controller.leases)} insertion leases still "
+                   f"active after quiesce")
 
 
 class AgreementInvariant(InvariantChecker):
@@ -192,9 +206,97 @@ class CounterMonotonicityInvariant(InvariantChecker):
         self.on_tick(now, report)
 
 
+class ExactlyOnceInvariant(InvariantChecker):
+    """Each tokened (retried) write applies to the store exactly once.
+
+    Binding enables the shims' per-token apply ledgers; any token seen
+    applied more than once is a dedup-window failure.
+    """
+
+    name = "exactly-once-write"
+
+    def bind(self, cluster) -> "ExactlyOnceInvariant":
+        super().bind(cluster)
+        for server in cluster.servers.values():
+            server.shim.track_applies = True
+        self._reported: set = set()
+        return self
+
+    def on_tick(self, now: float, report: Report) -> None:
+        for sid, server in self.cluster.servers.items():
+            for tid, count in server.shim.token_applies.items():
+                if count > 1 and (sid, tid) not in self._reported:
+                    self._reported.add((sid, tid))
+                    report(now, self.name,
+                           f"server={sid} client={tid[0]} token={tid[1]} "
+                           f"applied {count} times")
+
+    def on_quiesce(self, now: float, report: Report) -> None:
+        self.on_tick(now, report)
+
+
+class WriteDurabilityInvariant(InvariantChecker):
+    """No acked write is lost: after quiesce, every key's stored value is
+    explained by its write history.
+
+    The valid set for a key is the values of acked writes committed within
+    ``SLACK`` of the key's *last* ack (ack order can trail apply order by
+    up to the client's retry span when a reply is lost and the dedup
+    window re-sends it) plus every sent-but-never-acked write (an in-flight
+    write may or may not have applied).  A stored value outside that set
+    means an acked write's effect vanished — the "acked but lost" failure.
+    """
+
+    name = "acked-write-durability"
+
+    #: ack-vs-apply reorder allowance (seconds); must exceed the client's
+    #: maximum retry span plus control-plane drain delays.
+    SLACK = 0.02
+
+    def bind(self, cluster) -> "WriteDurabilityInvariant":
+        super().bind(cluster)
+        #: (client, seq) -> [key, value-or-None(delete), acked_at or None]
+        self._writes: Dict[Tuple[int, int], list] = {}
+        cluster.sim.delivery_hooks.append(self._on_delivery)
+        return self
+
+    def _on_delivery(self, now: float, src: int, dst: int, pkt) -> None:
+        if pkt.op in _WRITE_OPS:
+            wid = (pkt.src, pkt.seq)
+            if wid not in self._writes:
+                value = pkt.value if pkt.op in (Op.PUT, Op.PUT_CACHED) \
+                    else None
+                self._writes[wid] = [pkt.key, value, None]
+        elif pkt.op in (Op.PUT_REPLY, Op.DELETE_REPLY):
+            entry = self._writes.get((pkt.dst, pkt.seq))
+            if entry is not None and entry[2] is None:
+                entry[2] = now
+
+    def on_quiesce(self, now: float, report: Report) -> None:
+        per_key: Dict[bytes, list] = {}
+        for (client, seq), (key, value, acked_at) in self._writes.items():
+            per_key.setdefault(key, []).append((acked_at, value))
+        partitioner = self.cluster.partitioner
+        for key, writes in per_key.items():
+            acked = [w for w in writes if w[0] is not None]
+            if not acked:
+                continue  # nothing was promised for this key
+            last_ack = max(w[0] for w in acked)
+            valid = {w[1] for w in acked if w[0] >= last_ack - self.SLACK}
+            valid |= {w[1] for w in writes if w[0] is None}
+            server = self.cluster.servers[partitioner.server_for(key)]
+            stored = server.store.get(key)
+            if stored not in valid:
+                report(now, self.name,
+                       f"key={key!r} stores {stored!r}, not among the "
+                       f"{len(valid)} value(s) acked/in-flight near the "
+                       f"last ack (acked-but-lost write)")
+
+
 def default_checkers() -> List[InvariantChecker]:
     return [StaleReadInvariant(), PendingWriteInvariant(),
-            AgreementInvariant(), CounterMonotonicityInvariant()]
+            AgreementInvariant(), CounterMonotonicityInvariant(),
+            ExactlyOnceInvariant(), WriteDurabilityInvariant()]
 
 
 class InvariantSuite:

@@ -21,6 +21,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.invariants import InvariantChecker, InvariantSuite
 from repro.faults.schedule import FaultSchedule
 from repro.obs import runtime as _obs
+from repro.reliability.retry import RetryPolicy
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.client.workload import Workload, WorkloadSpec
 
@@ -49,6 +50,13 @@ class ChaosConfig:
     invariant_interval: float = 0.01
     #: chaos-friendly retry budget: partitions outlast the default 50.
     max_update_retries: int = 5_000
+    #: enable client-side retries with idempotency tokens (plus versioned
+    #: write values, so lost/duplicated writes are distinguishable).
+    client_retries: bool = False
+    retry_timeout: float = 400e-6
+    retry_backoff: float = 2.0
+    retry_max: int = 3
+    retry_jitter: float = 0.2
     seed: int = 0
 
     def __post_init__(self):
@@ -86,6 +94,16 @@ class FaultReport:
     #: seconds from heal-all until no shim had pending/blocked writes;
     #: None when the run never settled inside the drain window.
     recovery_time: Optional[float]
+    # -- reliability layer (defaults keep older call sites working) --------
+    client_retries: int = 0
+    client_timeouts: int = 0
+    client_stale_drops: int = 0
+    dedup_hits: int = 0
+    degraded_entries: int = 0
+    degraded_recovered: int = 0
+    insertion_aborts: int = 0
+    servers_detected_dead: int = 0
+    failovers: int = 0
 
     @property
     def clean(self) -> bool:
@@ -111,6 +129,14 @@ class FaultReport:
             f"invariants      : {self.invariant_ticks} ticks, "
             f"{self.reads_checked} reads checked, "
             f"{len(self.violations)} violations",
+            f"reliability     : {self.client_retries} client retries, "
+            f"{self.client_timeouts} timeouts, "
+            f"{self.dedup_hits} dedup hits, "
+            f"{self.degraded_entries} degraded entries "
+            f"({self.degraded_recovered} recovered), "
+            f"{self.insertion_aborts} insertion aborts, "
+            f"{self.servers_detected_dead} servers declared dead "
+            f"({self.failovers} failovers)",
         ]
         if self.recovery_time is not None:
             lines.append(f"recovery        : settled "
@@ -136,13 +162,20 @@ class ChaosRunner:
             num_keys=config.num_keys, read_skew=config.skew,
             write_ratio=config.write_ratio, seed=config.seed,
             value_size=config.value_size))
+        self.retry_policy: Optional[RetryPolicy] = None
+        if config.client_retries:
+            self.retry_policy = RetryPolicy(
+                timeout=config.retry_timeout, backoff=config.retry_backoff,
+                max_retries=config.retry_max, jitter=config.retry_jitter,
+                seed=config.seed)
         self.cluster = Cluster(ClusterConfig(
             num_servers=config.num_servers, cache_items=config.cache_items,
             lookup_entries=config.lookup_entries,
             value_slots=config.value_slots,
             hot_threshold=config.hot_threshold,
             controller_update_interval=config.controller_update_interval,
-            stats_interval=config.stats_interval, seed=config.seed))
+            stats_interval=config.stats_interval, seed=config.seed,
+            client_retry_policy=self.retry_policy))
         self.cluster.load_workload_data(self.workload)
         self.cluster.warm_cache(self.workload, config.cache_items)
         for server in self.cluster.servers.values():
@@ -157,8 +190,13 @@ class ChaosRunner:
     # -- helpers ---------------------------------------------------------------
 
     def _settled(self) -> bool:
-        return all(s.shim.pending_updates == 0 and s.shim.blocked_writes == 0
-                   for s in self.cluster.servers.values())
+        shims_idle = all(
+            s.shim.pending_updates == 0 and s.shim.blocked_writes == 0
+            and not s.shim.degraded_keys
+            for s in self.cluster.servers.values())
+        controller = self.cluster.controller
+        leases_idle = controller is None or len(controller.leases) == 0
+        return shims_idle and leases_idle
 
     # -- the run ----------------------------------------------------------------
 
@@ -173,7 +211,9 @@ class ChaosRunner:
     def run(self) -> FaultReport:
         cfg = self.config
         cluster = self.cluster
-        client = cluster.add_workload_client(self.workload, rate=cfg.rate)
+        client = cluster.add_workload_client(
+            self.workload, rate=cfg.rate,
+            versioned_writes=cfg.client_retries)
         cluster.start_controller()
         self.suite.start()
         self.injector.arm()
@@ -237,6 +277,24 @@ class ChaosRunner:
             violations=[v.describe() for v in violations],
             recovery_time=(settled_at - t_heal
                            if settled_at is not None else None),
+            client_retries=sum(c.retransmissions for c in cluster.clients),
+            client_timeouts=sum(c.timeouts for c in cluster.clients),
+            client_stale_drops=sum(c.stale_drops for c in cluster.clients),
+            dedup_hits=sum(s.dedup.hits for s in shims),
+            degraded_entries=sum(s.degraded_entries for s in shims),
+            degraded_recovered=sum(s.degraded_recovered for s in shims),
+            insertion_aborts=(
+                (cluster.controller.insertion_aborts
+                 if cluster.controller is not None else 0)
+                + sum(s.insertion_aborts for s in shims)),
+            servers_detected_dead=(
+                cluster.controller.detector.deaths
+                if cluster.controller is not None
+                and cluster.controller.detector is not None else 0),
+            failovers=(
+                cluster.controller.detector.recoveries
+                if cluster.controller is not None
+                and cluster.controller.detector is not None else 0),
         )
 
 
@@ -270,6 +328,27 @@ def scripted_schedule(name: str, config: ChaosConfig,
         schedule.reboot_switch(0.25 * d)
         schedule.partition(0.45 * d, first, 0.15 * d)
         schedule.loss_burst(0.7 * d, second, 0.15 * d, 0.4)
+    elif name == "loss-retry":
+        # Heavy loss on two server links while client retries are on:
+        # exercises retransmission + server-side dedup (exactly-once).
+        schedule.loss_burst(0.25 * d, first, 0.3 * d, 0.6)
+        schedule.loss_burst(0.35 * d, second, 0.3 * d, 0.6)
+    elif name == "crash-insert":
+        # Reboot empties the cache so the controller re-inserts hot keys,
+        # then a server crash lands inside the async insertion window
+        # (completions run insertion_latency after an update tick): the
+        # lease reaper must abort the wedged insertions.
+        schedule.reboot_switch(0.25 * d)
+        schedule.crash_server(0.2625 * d + 1e-4, first, 0.3 * d)
+    elif name == "partition-budget":
+        # Outage outlasting the shim's update-retry budget.  The clean
+        # partition trips the failure detector; the near-total "gray" loss
+        # burst that follows lets a few writes trickle in whose switch
+        # updates then exhaust the (shrunken) retry budget — the shim must
+        # degrade to write-around instead of wedging, and recover once the
+        # controller acks the eviction.
+        schedule.partition(0.25 * d, first, 0.2 * d)
+        schedule.loss_burst(0.45 * d, first, 0.3 * d, 0.95)
     elif name == "random":
         return FaultSchedule.random(config.seed, d, server_ids)
     else:
@@ -277,13 +356,26 @@ def scripted_schedule(name: str, config: ChaosConfig,
     return schedule
 
 
-SCENARIOS = ("combo", "reboot", "partition", "loss-burst", "crash", "random")
+SCENARIOS = ("combo", "reboot", "partition", "loss-burst", "crash",
+             "loss-retry", "crash-insert", "partition-budget", "random")
+
+#: per-scenario config defaults (explicit CLI overrides still win).  The
+#: reliability scenarios need client retries and a write-heavy mix;
+#: partition-budget shrinks the update-retry budget so the partition
+#: actually exhausts it and forces degraded mode.
+SCENARIO_OVERRIDES = {
+    "loss-retry": {"client_retries": True, "write_ratio": 0.15},
+    "crash-insert": {"client_retries": True, "write_ratio": 0.2},
+    "partition-budget": {"client_retries": True, "write_ratio": 0.2,
+                         "max_update_retries": 40},
+}
 
 
 def run_chaos(scenario: str = "combo", seed: int = 0,
               **overrides) -> FaultReport:
     """Build and run one scripted chaos scenario."""
-    config = ChaosConfig(seed=seed, **overrides)
+    merged = {**SCENARIO_OVERRIDES.get(scenario, {}), **overrides}
+    config = ChaosConfig(seed=seed, **merged)
     runner = ChaosRunner(config, scenario=scenario)
     runner.schedule = scripted_schedule(scenario, config,
                                         runner.cluster.plan.server_ids)

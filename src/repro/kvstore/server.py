@@ -104,6 +104,11 @@ class StorageServer(Node):
         """Controller finished inserting *key*; unblock writes."""
         self.shim.end_insertion(key)
 
+    def abort_insertion(self, key: bytes) -> None:
+        """Controller abandoned an insertion (lease expired); unblock
+        writes without installing anything."""
+        self.shim.abort_insertion(key)
+
     # -- state loading (experiment setup) ---------------------------------------------
 
     def load(self, items) -> None:

@@ -14,19 +14,33 @@ the server side of the coherence protocol:
 * controller-driven insertions also block writes to the key for their
   duration (§4.3 "Cache Update").
 
+Two reliability mechanisms extend the paper's protocol:
+
+* **write dedup** — retried client writes carry an idempotency token; a
+  bounded :class:`~repro.reliability.dedup.DedupWindow` ensures each
+  tokened write applies exactly once and late retries just get the reply
+  re-sent;
+* **degraded mode** — when a switch cache update exhausts its retry budget
+  the shim no longer raises out of a timer callback; the key enters a
+  per-key *write-around* mode (writes apply and reply without pushing
+  updates), blocked writes drain, and the controller is asked to evict the
+  key.  :meth:`clear_degraded` recovers the key once the eviction is
+  acknowledged.
+
 The shim is transport-agnostic: it talks to the network through the owning
 :class:`~repro.kvstore.server.StorageServer`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import CoherenceError
 from repro.kvstore.store import KVStore
 from repro.net.packet import Packet, make_cache_update
-from repro.net.protocol import Op, REPLY_FOR
+from repro.net.protocol import Op, REPLY_FOR, WRITE_OPS
 from repro.obs import runtime as _obs
+from repro.reliability.dedup import DedupState, DedupWindow
 
 #: Retransmission timeout for switch cache updates (seconds).  The paper's
 #: mechanism is "light-weight high-performance reliable packet" (§6); a short
@@ -73,11 +87,48 @@ class ServerShim:
         self.updates_acked = 0
         self.retransmissions = 0
         self.writes_blocked = 0
+        #: exactly-once window for tokened (retried) writes.
+        self.dedup = DedupWindow()
+        #: keys in write-around mode after cache-update retry exhaustion.
+        self._degraded: Set[bytes] = set()
+        self.degraded_entries = 0
+        self.degraded_recovered = 0
+        self.insertion_aborts = 0
+        #: called as fn(server_node_id, key) when a key enters degraded
+        #: mode (the cluster wires this to the controller, which evicts the
+        #: key and acks recovery).
+        self.degraded_handler: Optional[Callable[[int, bytes], None]] = None
+        #: when True, record per-token apply counts (chaos invariants read
+        #: this to assert exactly-once effect under retries).
+        self.track_applies = False
+        self.token_applies: Dict[Tuple[int, int], int] = {}
 
     # -- query entry point ---------------------------------------------------
 
     def process(self, pkt: Packet) -> None:
-        """Handle one NetCache query delivered to this server."""
+        """Handle one NetCache query delivered by the network.
+
+        Tokened writes pass through the dedup window first: an already
+        applied token gets its reply re-sent without touching the store, a
+        still-queued token's retry is dropped (the queued original will be
+        answered when it drains).
+        """
+        if pkt.token is not None and pkt.op in WRITE_OPS:
+            entry = self.dedup.lookup(pkt.src, pkt.token)
+            if entry is not None:
+                obs = _obs.ACTIVE
+                if obs is not None:
+                    obs.shim_dedup_hits.inc()
+                state, reply_op = entry
+                if state is DedupState.APPLIED:
+                    self.server.send_reply(pkt.make_reply(Op(reply_op)))
+                return
+        self._dispatch(pkt)
+
+    def _dispatch(self, pkt: Packet) -> None:
+        """Route one query to its handler (internal re-entry point: drained
+        blocked writes come back through here, *not* ``process``, so they
+        are not mistaken for duplicates of themselves)."""
         if pkt.op == Op.GET:
             self._handle_get(pkt)
         elif pkt.op in (Op.PUT, Op.DELETE):
@@ -126,6 +177,11 @@ class ServerShim:
         # Reply to the client immediately -- the paper's optimization over
         # standard write-through (§4.3).
         self.server.send_reply(pkt.make_reply(REPLY_FOR[pkt.op]))
+        if pkt.key in self._degraded:
+            # Write-around: the switch copy is already invalid and the
+            # controller has been asked to evict the key; pushing another
+            # update would just fail the same way.
+            return
         if pkt.op == Op.PUT_CACHED:
             self._start_update(pkt.key, self.store.get(pkt.key))
         # For DELETE_CACHED the switch copy stays invalid until the
@@ -136,6 +192,12 @@ class ServerShim:
             self.store.put(pkt.key, pkt.value or b"")
         else:
             self.store.delete(pkt.key)
+        if pkt.token is not None:
+            self.dedup.note_applied(pkt.src, pkt.token,
+                                    int(REPLY_FOR[pkt.op]))
+            if self.track_applies:
+                tid = (pkt.src, pkt.token)
+                self.token_applies[tid] = self.token_applies.get(tid, 0) + 1
 
     def _must_block(self, key: bytes) -> bool:
         return key in self._pending or key in self._inserting
@@ -145,6 +207,8 @@ class ServerShim:
             key_state.blocked.append(pkt)
         else:
             self._inserting[pkt.key].append(pkt)
+        if pkt.token is not None:
+            self.dedup.note_queued(pkt.src, pkt.token)
 
     # -- switch cache updates -------------------------------------------------------
 
@@ -180,14 +244,38 @@ class ServerShim:
     def _on_update_timeout(self, pending: _PendingUpdate) -> None:
         if self._pending.get(pending.key) is not pending:
             return  # already acked
+        if pending.retries >= self.max_update_retries:
+            # Terminal: raising here would escape into the simulator event
+            # loop.  Degrade the key instead and let the controller evict.
+            self._enter_degraded(pending)
+            return
         pending.retries += 1
         self.retransmissions += 1
-        if pending.retries > self.max_update_retries:
-            raise CoherenceError(
-                f"switch cache update for {pending.key!r} lost "
-                f"{self.max_update_retries} times"
-            )
         self._transmit_update(pending)
+
+    # -- degraded write-around mode -------------------------------------------------
+
+    def _enter_degraded(self, pending: _PendingUpdate) -> None:
+        """Retry budget exhausted: stop updating the switch for this key,
+        drain its blocked writes as write-around, ask for eviction."""
+        del self._pending[pending.key]
+        self._degraded.add(pending.key)
+        self.degraded_entries += 1
+        obs = _obs.ACTIVE
+        if obs is not None:
+            obs.shim_degraded.inc()
+        # Degraded keys never block on pending updates, so the queued
+        # writes drain immediately (unless an insertion still holds them).
+        self._drain_blocked(pending.key, pending.blocked)
+        if self.degraded_handler is not None:
+            self.degraded_handler(self.server.node_id, pending.key)
+
+    def clear_degraded(self, key: bytes) -> None:
+        """Controller ack: *key* was evicted from the switch; future writes
+        arrive uncached and the key leaves write-around mode."""
+        if key in self._degraded:
+            self._degraded.discard(key)
+            self.degraded_recovered += 1
 
     def _handle_ack(self, pkt: Packet) -> None:
         pending = self._pending.get(pkt.key)
@@ -212,7 +300,7 @@ class ServerShim:
                 for rest in blocked[i:]:
                     self._block(rest)
                 return
-            self.process(queued)
+            self._dispatch(queued)
 
     # -- controller-driven insertion (§4.3) -----------------------------------------
 
@@ -227,6 +315,13 @@ class ServerShim:
         blocked = self._inserting.pop(key, [])
         self._drain_blocked(key, blocked)
 
+    def abort_insertion(self, key: bytes) -> None:
+        """Controller lease expired: roll the insertion back, releasing its
+        blocked writes exactly like a completed one."""
+        if key in self._inserting:
+            self.insertion_aborts += 1
+        self.end_insertion(key)
+
     # -- introspection ----------------------------------------------------------------
 
     @property
@@ -238,6 +333,10 @@ class ServerShim:
         return sum(len(p.blocked) for p in self._pending.values()) + sum(
             len(q) for q in self._inserting.values()
         )
+
+    @property
+    def degraded_keys(self) -> frozenset:
+        return frozenset(self._degraded)
 
 
 class StorageServerLike:

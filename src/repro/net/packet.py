@@ -43,6 +43,11 @@ class Packet:
     seq: int = 0
     key: bytes = b""
     value: Optional[bytes] = None
+    #: Idempotency token for retried writes: every retransmission of a
+    #: PUT/DELETE carries the same token so the server-side dedup window
+    #: can apply the write exactly once.  None = legacy packet, encoded
+    #: byte-identically to the pre-token format.
+    token: Optional[int] = None
 
     #: Monotonic id for tracing; not part of the wire format.
     pkt_id: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
@@ -111,14 +116,15 @@ class Packet:
     # -- sizes --------------------------------------------------------------
 
     # eth + ipv4 + l4 (UDP header / TCP stub, both 8 B) + NetCache fixed
-    # fields (magic 2, op 1, flags 1, seq 4, value_len 2); KEY and VALUE
-    # lengths are added per packet.
+    # fields (magic 2, op 1, flags 1, seq 4, value_len 2); KEY, VALUE and
+    # the optional idempotency token are added per packet.
     HEADER_OVERHEAD = 14 + 20 + 8 + 10
 
     def wire_size(self) -> int:
         """Approximate on-wire size in bytes (for bandwidth accounting)."""
         value_len = len(self.value) if self.value is not None else 0
-        return self.HEADER_OVERHEAD + len(self.key) + value_len
+        token_len = 8 if self.token is not None else 0
+        return self.HEADER_OVERHEAD + len(self.key) + token_len + value_len
 
     def copy(self) -> "Packet":
         """Deep-enough copy (bytes are immutable) with a fresh packet id."""

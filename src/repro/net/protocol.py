@@ -74,6 +74,17 @@ CACHED_WRITE_REWRITE = {
 }
 
 
+# -- NetCache header FLAGS bits (wire format, see net/wire.py) ---------------
+
+#: The value in this packet was served from the switch cache.
+HDR_FLAG_SERVED_BY_CACHE = 0x01
+#: A value field follows the fixed header.
+HDR_FLAG_HAS_VALUE = 0x02
+#: An 8-byte idempotency token precedes the value; all retransmissions of
+#: a write carry the same token so servers can deduplicate (exactly-once).
+HDR_FLAG_IDEMPOTENT = 0x04
+
+
 def is_netcache_port(port: int) -> bool:
     """True if *port* is the reserved NetCache L4 port."""
     return port == NETCACHE_PORT

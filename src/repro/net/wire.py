@@ -13,7 +13,11 @@ Layout (little is network byte order, big-endian)::
           proto(1) csum(2) src_ip(4) dst_ip(4)
     L4:   src_port(2) dst_port(2)  [UDP: len(2) csum(2) | TCP stub: seq(4)]
     NETCACHE: magic(2)=0x4E43 ('NC') op(1) flags(1) seq(4)
-              key(16) value_len(2) value(value_len)
+              key(16) value_len(2) [token(8)] value(value_len)
+
+The optional token field is present only when the IDEMPOTENT flag bit
+(0x04) is set; legacy packets without a token keep the exact pre-token
+byte layout (pinned by ``tests/test_golden_wire.py``).
 
 Node ids map to IPs as ``10.0.(id >> 8).(id & 0xff)`` and to MACs derived
 from the id; the inverse mapping recovers ids on parse.
@@ -27,7 +31,12 @@ from typing import Tuple
 from repro.constants import KEY_SIZE, MAX_VALUE_SIZE
 from repro.errors import PacketFormatError
 from repro.net.packet import Packet
-from repro.net.protocol import Op
+from repro.net.protocol import (
+    HDR_FLAG_HAS_VALUE,
+    HDR_FLAG_IDEMPOTENT,
+    HDR_FLAG_SERVED_BY_CACHE,
+    Op,
+)
 
 MAGIC = 0x4E43  # "NC"
 
@@ -36,12 +45,14 @@ _IPV4 = struct.Struct("!BBHHHBBH4s4s")
 _UDP = struct.Struct("!HHHH")
 _TCP_STUB = struct.Struct("!HHI")
 _NC_FIXED = struct.Struct("!HBBI16sH")
+_NC_TOKEN = struct.Struct("!Q")
 
 ETHERTYPE_IPV4 = 0x0800
 PROTO_UDP = 17
 PROTO_TCP = 6
 
-FLAG_SERVED_BY_CACHE = 0x01
+#: Backwards-compatible alias (canonical constants live in net/protocol.py).
+FLAG_SERVED_BY_CACHE = HDR_FLAG_SERVED_BY_CACHE
 
 
 def node_to_ip(node: int) -> bytes:
@@ -79,11 +90,17 @@ def encode(pkt: Packet) -> bytes:
     if len(key) != KEY_SIZE:
         raise PacketFormatError(f"key must be {KEY_SIZE} bytes")
 
-    flags = FLAG_SERVED_BY_CACHE if pkt.served_by_cache else 0
-    has_value = 1 if pkt.value is not None else 0
-    flags |= has_value << 1
+    flags = HDR_FLAG_SERVED_BY_CACHE if pkt.served_by_cache else 0
+    if pkt.value is not None:
+        flags |= HDR_FLAG_HAS_VALUE
+    token = b""
+    if pkt.token is not None:
+        if not 0 <= pkt.token < (1 << 64):
+            raise PacketFormatError("idempotency token must fit in 64 bits")
+        flags |= HDR_FLAG_IDEMPOTENT
+        token = _NC_TOKEN.pack(pkt.token)
     nc = _NC_FIXED.pack(MAGIC, int(pkt.op), flags, pkt.seq & 0xFFFFFFFF, key,
-                        len(value)) + value
+                        len(value)) + token + value
 
     if pkt.udp:
         l4 = _UDP.pack(pkt.src_port, pkt.dst_port, _UDP.size + len(nc), 0) + nc
@@ -138,11 +155,15 @@ def decode(data: bytes) -> Packet:
         if magic != MAGIC:
             raise PacketFormatError("bad NetCache magic")
         off += _NC_FIXED.size
+        token = None
+        if flags & HDR_FLAG_IDEMPOTENT:
+            (token,) = _NC_TOKEN.unpack_from(data, off)
+            off += _NC_TOKEN.size
         if value_len > MAX_VALUE_SIZE:
             raise PacketFormatError("value length exceeds maximum")
         if len(data) - off != value_len:
             raise PacketFormatError("value length mismatch")
-        value = data[off : off + value_len] if flags & 0x02 else None
+        value = data[off : off + value_len] if flags & HDR_FLAG_HAS_VALUE else None
         try:
             op = Op(op_raw)
         except ValueError as exc:
@@ -162,8 +183,9 @@ def decode(data: bytes) -> Packet:
         seq=seq,
         key=key,
         value=value,
+        token=token,
     )
-    pkt.served_by_cache = bool(flags & FLAG_SERVED_BY_CACHE)
+    pkt.served_by_cache = bool(flags & HDR_FLAG_SERVED_BY_CACHE)
     if ip_to_node(src_ip) != pkt.src or ip_to_node(dst_ip) != pkt.dst:
         raise PacketFormatError("IP and MAC addresses disagree")
     return pkt

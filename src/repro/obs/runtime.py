@@ -56,6 +56,15 @@ class Observability:
         self.net_delivered = self.registry.counter("net.delivered")
         self.net_dropped = self.registry.counter("net.dropped")
         self.shim_update_rtt = self.registry.histogram("shim.cache_update.rtt")
+        # Reliability layer (client retries, server dedup, degraded mode,
+        # controller failover).
+        self.client_retries = self.registry.counter("client.retries")
+        self.client_timeouts = self.registry.counter("client.timeouts")
+        self.client_stale_drops = self.registry.counter("client.stale_drops")
+        self.shim_dedup_hits = self.registry.counter("shim.dedup_hits")
+        self.shim_degraded = self.registry.counter("shim.degraded_entries")
+        self.failover_latency = self.registry.histogram(
+            "controller.failover_latency")
 
 
 def enable(clock: Optional[Callable[[], float]] = None,

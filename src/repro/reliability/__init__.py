@@ -1,0 +1,38 @@
+"""End-to-end reliability primitives.
+
+The paper's only reliability mechanism is the "light-weight reliable packet"
+retry loop for switch cache updates (§6).  This package generalises that into
+the pieces a production deployment needs around it:
+
+* :class:`~repro.reliability.retry.RetryPolicy` — client-side per-request
+  timeout with exponential backoff + deterministic jitter and a bounded
+  retry budget (plus the :data:`~repro.reliability.retry.TIMED_OUT`
+  sentinel delivered to callbacks when the budget is exhausted);
+* :class:`~repro.reliability.dedup.DedupWindow` — the server-side
+  exactly-once window that makes retried writes idempotent;
+* :class:`~repro.reliability.failure.FailureDetector` — a heartbeat-based
+  detector the controller runs over the storage servers;
+* :class:`~repro.reliability.lease.LeaseTable` — insertion leases bounding
+  the §4.3 fetch→finish write-blocking window so a crashed server cannot
+  wedge blocked writes forever.
+
+All components are seeded/deterministic so chaos runs replay
+byte-identically.
+"""
+
+from repro.reliability.dedup import DedupWindow, DedupState
+from repro.reliability.failure import FailureDetector, HealthEvent
+from repro.reliability.lease import InsertionLease, LeaseState, LeaseTable
+from repro.reliability.retry import TIMED_OUT, RetryPolicy
+
+__all__ = [
+    "DedupState",
+    "DedupWindow",
+    "FailureDetector",
+    "HealthEvent",
+    "InsertionLease",
+    "LeaseState",
+    "LeaseTable",
+    "RetryPolicy",
+    "TIMED_OUT",
+]

@@ -1,0 +1,86 @@
+"""Insertion leases: a timeout on the controller's fetch->finish window.
+
+While the controller copies a key's value into the switch (§4.3) the
+owning shim blocks writes to that key.  Without a bound, a controller (or
+server) failure mid-insertion wedges those writes forever.  A lease is
+granted when the insertion starts and must be completed before it expires;
+an expired lease is *aborted* — the controller rolls the partial insertion
+back and the shim releases the blocked writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class LeaseState(enum.Enum):
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    ABORTED = "aborted"
+
+
+@dataclasses.dataclass
+class InsertionLease:
+    key: bytes
+    server: int
+    granted_at: float
+    expires_at: float
+    state: LeaseState = LeaseState.ACTIVE
+
+
+class LeaseTable:
+    """Active insertion leases, keyed by cache key."""
+
+    def __init__(self, timeout: float):
+        if timeout <= 0:
+            raise ConfigurationError("lease timeout must be positive")
+        self.timeout = timeout
+        self._active: Dict[bytes, InsertionLease] = {}
+        self.granted = 0
+        self.completed = 0
+        self.aborted = 0
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def get(self, key: bytes) -> Optional[InsertionLease]:
+        return self._active.get(key)
+
+    def grant(self, key: bytes, server: int, now: float) -> InsertionLease:
+        if key in self._active:
+            raise ConfigurationError(
+                f"insertion lease already active for key {key.hex()}")
+        lease = InsertionLease(key=key, server=server, granted_at=now,
+                               expires_at=now + self.timeout)
+        self._active[key] = lease
+        self.granted += 1
+        return lease
+
+    def extend(self, key: bytes, now: float) -> None:
+        """Push the expiry out (used while the owning server is down: the
+        abort itself needs the server back to release its blocked writes)."""
+        lease = self._active.get(key)
+        if lease is not None:
+            lease.expires_at = now + self.timeout
+
+    def complete(self, key: bytes) -> Optional[InsertionLease]:
+        lease = self._active.pop(key, None)
+        if lease is not None:
+            lease.state = LeaseState.COMPLETED
+            self.completed += 1
+        return lease
+
+    def abort(self, key: bytes) -> Optional[InsertionLease]:
+        lease = self._active.pop(key, None)
+        if lease is not None:
+            lease.state = LeaseState.ABORTED
+            self.aborted += 1
+        return lease
+
+    def expired(self, now: float) -> List[InsertionLease]:
+        """Leases past their expiry, still active (caller decides fate)."""
+        return [l for l in self._active.values() if now >= l.expires_at]

@@ -26,6 +26,7 @@ from repro.kvstore.partition import HashPartitioner
 from repro.kvstore.server import StorageServer
 from repro.net.simulator import Simulator
 from repro.net.topology import make_rack_plan
+from repro.reliability.retry import RetryPolicy
 
 
 @dataclasses.dataclass
@@ -50,6 +51,13 @@ class ClusterConfig:
     hot_threshold: int = 8
     sample_rate: float = 1.0
     seed: int = 0
+    # Reliability layer (see docs/RELIABILITY.md).
+    #: retry policy installed on workload clients (None = fail-stop).
+    client_retry_policy: Optional[RetryPolicy] = None
+    heartbeat_interval: float = 0.005
+    failure_threshold: int = 3
+    lease_timeout: float = 0.005
+    insertion_latency: float = 200e-6
 
     def __post_init__(self):
         if self.num_servers <= 0 or self.num_clients <= 0:
@@ -122,7 +130,26 @@ class Cluster:
                 stats_interval=config.stats_interval,
                 update_interval=config.controller_update_interval,
                 seed=config.seed,
+                heartbeat_interval=config.heartbeat_interval,
+                failure_threshold=config.failure_threshold,
+                lease_timeout=config.lease_timeout,
+                insertion_latency=config.insertion_latency,
+                async_insertions=True,
+                server_probe=self._server_reachable,
             )
+            # Shim degraded-mode recovery goes through the controller
+            # (eviction + ack), closing the write-around loop.
+            for server in self.servers.values():
+                server.shim.degraded_handler = self.controller.report_degraded_key
+
+    def _server_reachable(self, server_id: int) -> bool:
+        """Control-plane probe: a heartbeat reaches the server only if the
+        node is up *and* its ToR cable is up (a partitioned server is as
+        dead to the control plane as a crashed one)."""
+        if self.sim.node_is_down(server_id):
+            return False
+        link = self.sim.link_between(self.plan.tor_id, server_id)
+        return link.up
 
     # -- setup helpers -------------------------------------------------------------
 
@@ -152,18 +179,24 @@ class Cluster:
 
     def add_workload_client(self, workload: Workload, rate: float,
                             aimd: bool = False,
-                            control_interval: float = 0.1) -> WorkloadClient:
+                            control_interval: float = 0.1,
+                            retry_policy: Optional[RetryPolicy] = None,
+                            versioned_writes: bool = False) -> WorkloadClient:
         """Attach an open-loop load generator as an extra client node."""
         node_id = max(self.sim.nodes) + 1
         controller = None
         if aimd:
             controller = AimdRateController(initial_rate=rate,
                                             max_rate=rate * 100)
+        if retry_policy is None:
+            retry_policy = self.config.client_retry_policy
         client = WorkloadClient(node_id, gateway=self.plan.tor_id,
                                 partitioner=self.partitioner,
                                 workload=workload, rate=rate,
                                 controller=controller,
-                                control_interval=control_interval)
+                                control_interval=control_interval,
+                                retry_policy=retry_policy,
+                                versioned_writes=versioned_writes)
         self.sim.add_node(client)
         self.sim.connect(self.plan.tor_id, node_id,
                          latency=self.config.link_latency)

@@ -174,10 +174,14 @@ def cmd_chaos(args) -> int:
     if args.runs < 1:
         print("error: --runs must be at least 1", file=sys.stderr)
         return 2
+    # Only pass flags the user actually set, so per-scenario defaults
+    # (SCENARIO_OVERRIDES: client retries, write mix, retry budgets) apply.
+    overrides = {k: v for k, v in (
+        ("duration", args.duration), ("num_servers", args.servers),
+        ("write_ratio", args.write_ratio), ("rate", args.rate),
+    ) if v is not None}
     reports = [
-        run_chaos(scenario=args.scenario, seed=args.seed,
-                  duration=args.duration, num_servers=args.servers,
-                  write_ratio=args.write_ratio, rate=args.rate)
+        run_chaos(scenario=args.scenario, seed=args.seed, **overrides)
         for _ in range(args.runs)
     ]
     report = reports[0]
@@ -293,12 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="scripted fault schedule (default: combo = "
                               "switch reboot + partition + loss burst)")
     p_chaos.add_argument("--seed", type=int, default=0)
-    p_chaos.add_argument("--duration", type=float, default=0.4,
-                         help="seconds of faulted traffic")
-    p_chaos.add_argument("--servers", type=int, default=4)
-    p_chaos.add_argument("--write-ratio", type=float, default=0.1)
-    p_chaos.add_argument("--rate", type=float, default=20_000.0,
-                         help="open-loop client rate (queries/s)")
+    p_chaos.add_argument("--duration", type=float, default=None,
+                         help="seconds of faulted traffic (default: 0.4)")
+    p_chaos.add_argument("--servers", type=int, default=None,
+                         help="storage servers in the rack (default: 4)")
+    p_chaos.add_argument("--write-ratio", type=float, default=None,
+                         help="write fraction (default: per scenario)")
+    p_chaos.add_argument("--rate", type=float, default=None,
+                         help="open-loop client rate (queries/s, "
+                              "default: 20000)")
     p_chaos.add_argument("--runs", type=int, default=2,
                          help="replays to compare for determinism")
     p_chaos.set_defaults(func=cmd_chaos)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro import obs
 from repro.client.workload import Workload, WorkloadSpec
 from repro.errors import ConfigurationError
+from repro.reliability.retry import RetryPolicy
 from repro.sim.cluster import Cluster, ClusterConfig
 
 #: bump when the snapshot layout changes incompatibly.
@@ -54,6 +55,10 @@ class PerfScenario:
     hot_threshold: int = 8
     controller_update_interval: float = 0.01
     stats_interval: float = 0.5
+    #: per-link loss probability (applied to every cable in the rack).
+    link_loss: float = 0.0
+    #: enable the client retry layer (idempotent writes, backoff+jitter).
+    client_retries: bool = False
 
 
 SCENARIOS: Dict[str, PerfScenario] = {
@@ -71,6 +76,11 @@ SCENARIOS: Dict[str, PerfScenario] = {
             num_servers=4, num_keys=500, cache_items=16,
             lookup_entries=256, value_slots=256,
             rate=10_000.0, duration=0.2),
+        PerfScenario(
+            "lossy10", "10% per-link loss, client retries on (goodput "
+            "must stay within 10% of lossless)",
+            link_loss=0.10, client_retries=True,
+            write_ratio=0.1, duration=0.5),
     )
 }
 
@@ -91,19 +101,24 @@ def run_scenario(name: str, seed: int = 0,
         num_keys=scenario.num_keys, read_skew=scenario.skew,
         write_ratio=scenario.write_ratio, seed=seed,
         value_size=scenario.value_size))
+    retry_policy = RetryPolicy(seed=seed) if scenario.client_retries else None
     cluster = Cluster(ClusterConfig(
         num_servers=scenario.num_servers, cache_items=scenario.cache_items,
         lookup_entries=scenario.lookup_entries,
         value_slots=scenario.value_slots,
         hot_threshold=scenario.hot_threshold,
         controller_update_interval=scenario.controller_update_interval,
-        stats_interval=scenario.stats_interval, seed=seed))
+        stats_interval=scenario.stats_interval, seed=seed,
+        link_loss=scenario.link_loss,
+        client_retry_policy=retry_policy))
     cluster.load_workload_data(workload)
 
     wall_start = time.perf_counter()
     with obs.session(clock=obs.sim_clock(cluster.sim)) as o:
         cluster.warm_cache(workload, scenario.cache_items)
-        client = cluster.add_workload_client(workload, rate=scenario.rate)
+        client = cluster.add_workload_client(
+            workload, rate=scenario.rate,
+            versioned_writes=scenario.client_retries)
         cluster.start_controller()
         cluster.run(scenario.duration)
         client.stop()
@@ -164,6 +179,14 @@ def _build_snapshot(scenario: PerfScenario, seed: int, cluster: Cluster,
             "net": {
                 "delivered": o.net_delivered.value,
                 "dropped": o.net_dropped.value,
+            },
+            "reliability": {
+                "client_retries": client.retransmissions,
+                "client_timeouts": client.timeouts,
+                "dedup_hits": sum(s.shim.dedup.hits
+                                  for s in cluster.servers.values()),
+                "degraded_entries": sum(s.shim.degraded_entries
+                                        for s in cluster.servers.values()),
             },
             "latency": latency,
             "components": o.tracer.summary(),

@@ -13,6 +13,9 @@ values = st.one_of(st.none(), st.binary(max_size=128))
 ops = st.sampled_from(list(Op))
 
 
+tokens = st.one_of(st.none(), st.integers(0, 2**64 - 1))
+
+
 @st.composite
 def packets(draw):
     return Packet(
@@ -23,6 +26,7 @@ def packets(draw):
         seq=draw(st.integers(0, 2**32 - 1)),
         key=draw(keys16),
         value=draw(values),
+        token=draw(tokens),
     )
 
 
@@ -37,6 +41,7 @@ def test_wire_roundtrip_preserves_all_fields(pkt):
     assert decoded.seq == pkt.seq
     assert decoded.key == pkt.key
     assert decoded.value == pkt.value
+    assert decoded.token == pkt.token
 
 
 @settings(max_examples=200, deadline=None)

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.errors import CoherenceError
-from repro.kvstore.shim import MAX_UPDATE_RETRIES, ServerShim
+from repro.kvstore.shim import ServerShim
 from repro.kvstore.store import KVStore
 from repro.net.packet import Packet, make_delete, make_get, make_put
 from repro.net.protocol import Op
@@ -59,6 +58,20 @@ def cached_put(value, seq=1):
     pkt = make_put(2, 5, KEY, value, seq=seq)
     pkt.op = Op.PUT_CACHED  # the switch's rewrite
     return pkt
+
+
+def tokened_put(value, seq=1):
+    """An uncached PUT carrying an idempotency token (a retried write)."""
+    pkt = make_put(2, 5, KEY, value, seq=seq)
+    pkt.token = seq
+    return pkt
+
+
+def exhaust_update_retries(server, shim, budget=3):
+    """Fire the update timer past the retry budget, entering degraded mode."""
+    shim.max_update_retries = budget
+    for _ in range(budget + 1):
+        server.fire_timer(-1)
 
 
 class TestReads:
@@ -128,11 +141,18 @@ class TestCachedWrites:
         assert shim.retransmissions == 1
 
     def test_gives_up_after_max_retries(self, rig):
+        # Exhausting the retry budget no longer raises out of a timer
+        # callback: the key degrades to write-around mode instead.
         server, _, shim = rig
+        notified = []
+        shim.degraded_handler = lambda sid, key: notified.append((sid, key))
         shim.process(cached_put(b"new"))
-        with pytest.raises(CoherenceError):
-            for _ in range(MAX_UPDATE_RETRIES + 1):
-                server.fire_timer(-1)
+        exhaust_update_retries(server, shim)
+        assert shim.pending_updates == 0
+        assert KEY in shim.degraded_keys
+        assert shim.degraded_entries == 1
+        assert shim.retransmissions == shim.max_update_retries
+        assert notified == [(server.node_id, KEY)]
 
     def test_delete_cached_no_value_update(self, rig):
         server, store, shim = rig
@@ -172,6 +192,93 @@ class TestWriteBlocking:
         shim.process(cached_put(b"v1"))
         shim.process(make_put(2, 5, other, b"w"))
         assert store.get(other) == b"w"
+
+
+class TestDegradedMode:
+    def test_blocked_writes_drain_on_degrade(self, rig):
+        server, store, shim = rig
+        shim.process(cached_put(b"v1", seq=1))
+        shim.process(cached_put(b"v2", seq=2))
+        assert shim.writes_blocked == 1
+        exhaust_update_retries(server, shim)
+        # The blocked v2 drained as write-around: applied, answered, and no
+        # fresh update pushed for it.
+        assert store.get(KEY) == b"v2"
+        assert len(server.replies) == 2
+        assert shim.pending_updates == 0
+        assert shim.blocked_writes == 0
+
+    def test_degraded_writes_skip_update_push(self, rig):
+        server, _, shim = rig
+        shim.process(cached_put(b"v1"))
+        exhaust_update_retries(server, shim)
+        sent_before = len(server.to_gateway)
+        shim.process(cached_put(b"v2", seq=2))
+        assert server.replies[-1].op == Op.PUT_REPLY
+        assert len(server.to_gateway) == sent_before
+
+    def test_clear_degraded_recovers(self, rig):
+        server, _, shim = rig
+        shim.process(cached_put(b"v1"))
+        exhaust_update_retries(server, shim)
+        shim.clear_degraded(KEY)
+        assert KEY not in shim.degraded_keys
+        assert shim.degraded_recovered == 1
+        # Updates flow again once the controller has evicted the key.
+        shim.process(cached_put(b"v2", seq=2))
+        assert shim.pending_updates == 1
+
+    def test_clear_degraded_idempotent(self, rig):
+        _, _, shim = rig
+        shim.clear_degraded(KEY)
+        assert shim.degraded_recovered == 0
+
+
+class TestWriteDedup:
+    def test_retry_applies_once_and_replays_reply(self, rig):
+        server, store, shim = rig
+        shim.track_applies = True
+        shim.process(tokened_put(b"v1"))
+        assert store.get(KEY) == b"v1"
+        shim.process(tokened_put(b"v1"))  # the client's retransmission
+        assert shim.token_applies[(2, 1)] == 1
+        assert len(server.replies) == 2  # reply re-sent, store untouched
+        assert shim.dedup.hits == 1
+
+    def test_retry_of_queued_write_is_dropped(self, rig):
+        server, store, shim = rig
+        shim.begin_insertion(KEY)
+        shim.process(tokened_put(b"v1"))  # blocked behind the insertion
+        shim.process(tokened_put(b"v1"))  # retry: QUEUED token, dropped
+        assert len(server.replies) == 0
+        shim.end_insertion(KEY)
+        assert store.get(KEY) == b"v1"
+        assert len(server.replies) == 1  # answered exactly once
+
+    def test_untokened_writes_bypass_dedup(self, rig):
+        server, store, shim = rig
+        shim.process(make_put(2, 5, KEY, b"v1"))
+        shim.process(make_put(2, 5, KEY, b"v1"))
+        assert len(server.replies) == 2
+        assert shim.dedup.hits == 0
+
+
+class TestDrainReblocking:
+    def test_drained_cached_write_reblocks_remainder(self, rig):
+        server, store, shim = rig
+        store.put(KEY, b"orig")
+        shim.begin_insertion(KEY)
+        shim.process(cached_put(b"v1", seq=1))
+        shim.process(cached_put(b"v2", seq=2))
+        assert shim.blocked_writes == 2
+        shim.end_insertion(KEY)
+        # v1 drained and started its own switch update; v2 re-blocked
+        # behind that update rather than racing it.
+        assert store.get(KEY) == b"v1"
+        assert shim.pending_updates == 1
+        assert shim.blocked_writes == 1
+        shim.process(server.to_gateway[-1].make_reply(Op.CACHE_UPDATE_ACK))
+        assert store.get(KEY) == b"v2"
 
 
 class TestInsertionBlocking:
