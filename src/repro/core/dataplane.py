@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.constants import (
     LOOKUP_TABLE_ENTRIES,
@@ -219,6 +221,48 @@ class NetCacheDataplane:
                 return None
         self.cache_misses += 1
         return self.stats.heavy_hitter_count(key)
+
+    def observe_reads(self, keys: Sequence[bytes]) -> List[bytes]:
+        """Batch :meth:`observe_read`: returns the keys to report hot.
+
+        Classifies the whole stream against the lookup table, draws every
+        sampler decision in stream order (hits and misses interleave
+        exactly as the scalar path would), then applies the hit counters
+        and the miss sketch/Bloom path with vectorized batch updates.
+        Bit-for-bit equivalent to looping ``observe_read`` — that
+        equivalence is what makes it safe for the hybrid emulation's
+        sampled-query stream.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        stats = self.stats
+        probe = self.lookup.probe
+        status = self.status
+        ports_per_pipe = self.ports_per_pipe
+        num_pipes = self.num_pipes
+        hit_mask = np.zeros(len(keys), dtype=bool)
+        hit_indexes: List[int] = []
+        miss_keys: List[bytes] = []
+        for j, key in enumerate(keys):
+            entry = probe(key)
+            if entry is not None:
+                key_index = entry["key_index"]
+                pipe = (entry["egress_port"] // ports_per_pipe) % num_pipes
+                if status[pipe].is_valid(key_index):
+                    hit_mask[j] = True
+                    hit_indexes.append(key_index)
+                    continue
+            miss_keys.append(key)
+        self.cache_hits += len(hit_indexes)
+        self.cache_misses += len(miss_keys)
+        decisions = stats.sample_batch(keys)
+        if hit_indexes:
+            stats.cache_count_batch(hit_indexes, decisions[hit_mask])
+        if miss_keys:
+            return stats.heavy_hitter_count_batch(
+                miss_keys, decisions=decisions[~hit_mask])
+        return []
 
     # -- control-plane API (used by the controller) ---------------------------------
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError, ResourceExhaustedError
 
 
@@ -28,6 +30,13 @@ class RegisterArray:
     significant; the slot is padded conceptually).  Integer counters use the
     add/read_int interface with saturation at the width limit, matching the
     switch ALU's saturating arithmetic.
+
+    Integer state is numpy-backed with an epoch-stamped O(1) ``clear()``:
+    a slot's value is live only while its generation stamp matches the
+    current epoch, so the controller's periodic counter clear is a counter
+    bump instead of an O(slots) loop.  ``add_batch`` applies a whole
+    increment batch (hot-path statistics) with a few numpy calls, with the
+    same saturating semantics as sequential ``add`` calls.
     """
 
     def __init__(self, name: str, slots: int, slot_bytes: int):
@@ -37,7 +46,10 @@ class RegisterArray:
         self.slots = slots
         self.slot_bytes = slot_bytes
         self._data: List[bytes] = [b""] * slots
-        self._ints: List[int] = [0] * slots
+        self._bytes_dirty = False
+        self._ints = np.zeros(slots, dtype=np.uint64)
+        self._stamps = np.full(slots, -1, dtype=np.int64)
+        self._epoch = 0
         self.max_int = (1 << (8 * slot_bytes)) - 1
         self.reads = 0
         self.writes = 0
@@ -61,6 +73,7 @@ class RegisterArray:
                 f"{self.slot_bytes}"
             )
         self.writes += 1
+        self._bytes_dirty = True
         self._data[index] = value
 
     # -- integer interface (counters, valid bits) -------------------------------
@@ -68,7 +81,9 @@ class RegisterArray:
     def read_int(self, index: int) -> int:
         self._check_index(index)
         self.reads += 1
-        return self._ints[index]
+        if self._stamps[index] != self._epoch:
+            return 0
+        return int(self._ints[index])
 
     def write_int(self, index: int, value: int) -> None:
         self._check_index(index)
@@ -78,19 +93,50 @@ class RegisterArray:
             )
         self.writes += 1
         self._ints[index] = value
+        self._stamps[index] = self._epoch
 
     def add(self, index: int, delta: int = 1) -> int:
         """Saturating add; returns the new value."""
         self._check_index(index)
         self.writes += 1
-        new = min(self.max_int, self._ints[index] + delta)
+        base = int(self._ints[index]) if self._stamps[index] == self._epoch else 0
+        new = min(self.max_int, base + delta)
         self._ints[index] = new
+        self._stamps[index] = self._epoch
         return new
 
+    def add_batch(self, indexes, delta: int = 1) -> None:
+        """Saturating add of *delta* at each of *indexes* (with repeats).
+
+        Equivalent to calling :meth:`add` once per index: positive
+        increments make saturation commute with summation, so accumulating
+        and clipping once per touched slot reproduces the sequential
+        result.
+        """
+        idx = np.asarray(indexes, dtype=np.int64)
+        if idx.size == 0:
+            return
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        if idx.min() < 0 or idx.max() >= self.slots:
+            raise IndexError(f"{self.name}: batch index out of [0, {self.slots})")
+        self.writes += idx.size
+        touched = np.unique(idx)
+        stale = touched[self._stamps[touched] != self._epoch]
+        self._ints[stale] = 0
+        self._stamps[touched] = self._epoch
+        np.add.at(self._ints, idx, np.uint64(delta))
+        over = touched[self._ints[touched] > self.max_int]
+        self._ints[over] = self.max_int
+
     def clear(self) -> None:
-        """Zero the array (control-plane reset)."""
-        self._data = [b""] * self.slots
-        self._ints = [0] * self.slots
+        """Zero the array (control-plane reset).  O(1) for integer slots:
+        bumps the generation stamp; byte slots are rebuilt only if any
+        byte write happened since the last clear."""
+        if self._bytes_dirty:
+            self._data = [b""] * self.slots
+            self._bytes_dirty = False
+        self._epoch += 1
 
     @property
     def sram_bytes(self) -> int:

@@ -10,11 +10,22 @@ Four components wired in data-plane order:
 
 The controller clears all of it periodically; the clearing cycle bounds how
 fast the cache reacts to workload changes (§7.4 uses one second).
+
+All per-key derived indexes route through a :class:`~repro.sketch.digest.
+DigestTable`: the steady-state cost of one statistics pass is a dict probe
+plus a handful of array ops instead of ~8 hash computations.  The batch
+entry points (:meth:`QueryStatistics.sample_batch`,
+:meth:`QueryStatistics.heavy_hitter_count_batch`,
+:meth:`QueryStatistics.cache_count_batch`) process whole sampled-query
+streams with vectorized counter updates while producing bit-for-bit the
+same state and reports as the scalar path (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.constants import (
     BLOOM_BITS,
@@ -30,6 +41,7 @@ from repro.core.primitives import RegisterArray
 from repro.errors import ConfigurationError
 from repro.sketch.bloom import BloomFilter
 from repro.sketch.countmin import CountMinSketch
+from repro.sketch.digest import KeyDigest, digest_table_for
 from repro.sketch.sampler import PacketSampler
 
 
@@ -41,7 +53,8 @@ class QueryStatistics:
                  hot_threshold: int = HOT_THRESHOLD,
                  sample_rate: float = SAMPLE_RATE,
                  seed: int = 0,
-                 sampler_mode: str = "random"):
+                 sampler_mode: str = "random",
+                 digest_capacity: Optional[int] = None):
         if hot_threshold <= 0:
             raise ConfigurationError("hot_threshold must be positive")
         self.sampler = PacketSampler(rate=sample_rate, seed=seed ^ 0x5A,
@@ -52,15 +65,28 @@ class QueryStatistics:
                                      counter_bits=CM_COUNTER_BITS, seed=seed)
         self.bloom = BloomFilter(bits=BLOOM_BITS, num_hashes=BLOOM_HASHES,
                                  seed=seed ^ 0xB10)
+        #: per-key derived-index intern table shared by every path below.
+        self.digests = digest_table_for(self.sketch, self.bloom, self.sampler,
+                                        capacity=digest_capacity)
         self.hot_threshold = hot_threshold
         self.reports = 0
         self.resets = 0
 
     # -- data-plane operations -----------------------------------------------
 
+    def _sample_one(self, key: bytes, digest: Optional[KeyDigest]) -> bool:
+        """One sampler decision, feeding it the interned hash when useful."""
+        sampler = self.sampler
+        if sampler.mode == "hash" and 0.0 < sampler.rate < 1.0:
+            if digest is None:
+                digest = self.digests.get(key)
+            h = self.digests.sampler_hash(digest, sampler.epoch)
+            return sampler.sample(key, h=h)
+        return sampler.sample(key)
+
     def cache_count(self, key: bytes, key_index: int) -> None:
         """Count a cache hit for the key at *key_index* (Alg 1 line 5)."""
-        if self.sampler.sample(key):
+        if self._sample_one(key, None):
             self.counters.add(key_index, 1)
 
     def heavy_hitter_count(self, key: bytes) -> Optional[bytes]:
@@ -70,15 +96,68 @@ class QueryStatistics:
         compare against the threshold, and pass new heavy hitters through
         the Bloom filter so each is reported at most once per interval.
         """
-        if not self.sampler.sample(key):
+        digest = self.digests.get(key)
+        if not self._sample_one(key, digest):
             return None
-        estimate = self.sketch.update(key)
+        estimate = self.sketch.update_at(digest.cm_indexes)
         if estimate < self.hot_threshold:
             return None
-        if self.bloom.add(key):
+        if self.bloom.add_at(digest.bloom_bits):
             return None  # already reported this interval
         self.reports += 1
         return key
+
+    # -- batch data-plane operations ------------------------------------------
+
+    def sample_batch(self, keys: Sequence[bytes],
+                     digests: Optional[List[KeyDigest]] = None) -> np.ndarray:
+        """Sampler decisions for a key batch (boolean mask, key order)."""
+        sampler = self.sampler
+        hashes = None
+        if sampler.mode == "hash" and 0.0 < sampler.rate < 1.0:
+            if digests is None:
+                digests = self.digests.get_batch(keys)
+            epoch = sampler.epoch
+            sampler_hash = self.digests.sampler_hash
+            hashes = np.fromiter((sampler_hash(d, epoch) for d in digests),
+                                 dtype=np.uint64, count=len(digests))
+        return sampler.sample_batch(keys, hashes=hashes)
+
+    def cache_count_batch(self, key_indexes: Sequence[int],
+                          decisions: np.ndarray) -> None:
+        """Batch of cache-hit counts: *key_indexes* aligned with the
+        boolean *decisions* mask (from :meth:`sample_batch`)."""
+        idx = np.asarray(key_indexes, dtype=np.int64)
+        self.counters.add_batch(idx[np.asarray(decisions, dtype=bool)], 1)
+
+    def heavy_hitter_count_batch(
+            self, keys: Sequence[bytes],
+            decisions: Optional[np.ndarray] = None) -> List[bytes]:
+        """Batch equivalent of :meth:`heavy_hitter_count`.
+
+        Returns the hot keys to report, in stream order, exactly as the
+        scalar loop would have: the Count-Min update is
+        sequential-equivalent (running counts for duplicate slots) and the
+        Bloom test-and-set runs over threshold crossers in order.  Pass
+        *decisions* to reuse sampler verdicts already drawn for this batch
+        (the data plane samples hits and misses in one interleaved pass).
+        """
+        digests = self.digests.get_batch(keys)
+        if decisions is None:
+            decisions = self.sample_batch(keys, digests=digests)
+        sampled = [d for d, hit in zip(digests, decisions) if hit]
+        if not sampled:
+            return []
+        idx_matrix = np.array([d.cm_indexes for d in sampled], dtype=np.int64)
+        estimates = self.sketch.update_batch(idx_matrix)
+        hot: List[bytes] = []
+        bloom_add = self.bloom.add_at
+        for j in np.flatnonzero(estimates >= self.hot_threshold):
+            digest = sampled[j]
+            if not bloom_add(digest.bloom_bits):
+                self.reports += 1
+                hot.append(digest.key)
+        return hot
 
     # -- control-plane operations ----------------------------------------------
 
@@ -95,7 +174,13 @@ class QueryStatistics:
         self.sampler.set_rate(rate)
 
     def reset(self) -> None:
-        """Clear counters, sketch, and Bloom filter (periodic, §4.4.3)."""
+        """Clear counters, sketch, and Bloom filter (periodic, §4.4.3).
+
+        O(1) in every structure's width: each reset is an epoch bump (see
+        docs/PERFORMANCE.md).  Interned digests stay valid — they hold only
+        epoch-independent indexes plus a sampler hash that re-derives
+        itself when the epoch moves.
+        """
         self.counters.clear()
         self.sketch.reset()
         self.bloom.reset()

@@ -18,22 +18,40 @@ Callback = Callable[..., None]
 
 class Event:
     """A scheduled callback.  Cancelled events stay in the heap but are
-    skipped on pop (lazy deletion)."""
+    skipped on pop (lazy deletion).  Events order by (time, priority, seq)
+    and sit directly in the heap — no per-push key tuple."""
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "_queue", "_done")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callback, args: Tuple[Any, ...]):
+                 callback: Callback, args: Tuple[Any, ...],
+                 queue: Optional["EventQueue"] = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue = queue
+        self._done = False
 
     def cancel(self) -> None:
-        """Mark the event so the queue drops it instead of running it."""
-        self.cancelled = True
+        """Mark the event so the queue drops it instead of running it.
+
+        Cancelling an event that already ran (or was already cancelled) is
+        a no-op, so timer-cleanup races stay harmless."""
+        if not self.cancelled and not self._done:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def sort_key(self) -> Tuple[float, int, int]:
         return (self.time, self.priority, self.seq)
@@ -43,8 +61,10 @@ class EventQueue:
     """Heap-based future event list with a current-time clock."""
 
     def __init__(self):
-        self._heap: List[Tuple[Tuple[float, int, int], Event]] = []
+        self._heap: List[Event] = []
         self._seq = itertools.count()
+        #: pending non-cancelled events (len() is O(1), not a heap scan).
+        self._live = 0
         self.now = 0.0
         self.processed = 0
 
@@ -53,8 +73,10 @@ class EventQueue:
         """Schedule *callback(*args)* to run *delay* seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        ev = Event(self.now + delay, priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, (ev.sort_key(), ev))
+        ev = Event(self.now + delay, priority, next(self._seq), callback, args,
+                   queue=self)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def schedule_at(self, when: float, callback: Callback, *args: Any,
@@ -65,11 +87,13 @@ class EventQueue:
     def step(self) -> bool:
         """Run the next pending event; returns False when the queue is empty."""
         while self._heap:
-            _, ev = heapq.heappop(self._heap)
+            ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
             if ev.time < self.now:
                 raise SimulationError("event queue went backwards in time")
+            self._live -= 1
+            ev._done = True
             self.now = ev.time
             ev.callback(*ev.args)
             self.processed += 1
@@ -79,11 +103,11 @@ class EventQueue:
     def run_until(self, t_end: float) -> None:
         """Run events with time <= *t_end*, then advance the clock to it."""
         while self._heap:
-            key, ev = self._heap[0]
+            ev = self._heap[0]
             if ev.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if key[0] > t_end:
+            if ev.time > t_end:
                 break
             self.step()
         if t_end > self.now:
@@ -99,7 +123,7 @@ class EventQueue:
         return count
 
     def __len__(self) -> int:
-        return sum(1 for _, ev in self._heap if not ev.cancelled)
+        return self._live
 
     def empty(self) -> bool:
-        return len(self) == 0
+        return self._live == 0

@@ -50,6 +50,9 @@ class Simulator:
         self.events = EventQueue()
         self.nodes: Dict[int, Node] = {}
         self._links: Dict[Tuple[int, int], Link] = {}
+        #: node id -> directly-linked node ids, maintained by add_link so
+        #: neighbors() never scans the full link set.
+        self._adjacency: Dict[int, List[int]] = {}
         self.delivered = 0
         self.lost = 0
         #: subset of ``lost`` dropped because an endpoint was down.
@@ -80,6 +83,8 @@ class Simulator:
             if end not in self.nodes:
                 raise ConfigurationError(f"link endpoint {end} is not a node")
         self._links[key] = link
+        self._adjacency.setdefault(link.a, []).append(link.b)
+        self._adjacency.setdefault(link.b, []).append(link.a)
         # Per-link drops must also reach the simulator-wide counters, no
         # matter which code path attempted the transmission.
         link.on_drop = self._on_link_drop
@@ -100,14 +105,9 @@ class Simulator:
         return link
 
     def neighbors(self, node_id: int) -> List[int]:
-        """Node ids directly linked to *node_id*."""
-        out = []
-        for (a, b) in self._links:
-            if a == node_id:
-                out.append(b)
-            elif b == node_id:
-                out.append(a)
-        return out
+        """Node ids directly linked to *node_id* (O(degree) adjacency
+        lookup, in link-insertion order)."""
+        return list(self._adjacency.get(node_id, ()))
 
     # -- time ----------------------------------------------------------------
 

@@ -7,6 +7,7 @@ configurable sampler, plus a SpaceSaving summary used as a software baseline.
 
 from repro.sketch.bloom import BloomFilter
 from repro.sketch.countmin import CountMinSketch
+from repro.sketch.digest import DigestTable, KeyDigest, digest_table_for
 from repro.sketch.hashing import HashFamily, fingerprint, hash_bytes, hash_key
 from repro.sketch.sampler import PacketSampler
 from repro.sketch.spacesaving import SpaceSaving
@@ -14,9 +15,12 @@ from repro.sketch.spacesaving import SpaceSaving
 __all__ = [
     "BloomFilter",
     "CountMinSketch",
+    "DigestTable",
     "HashFamily",
+    "KeyDigest",
     "PacketSampler",
     "SpaceSaving",
+    "digest_table_for",
     "fingerprint",
     "hash_bytes",
     "hash_key",

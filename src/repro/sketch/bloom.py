@@ -3,9 +3,19 @@
 NetCache places a Bloom filter after the Count-Min sketch so each uncached
 hot key is reported to the controller only once per statistics interval
 (§4.4.3).  The prototype uses 3 register arrays of 256K 1-bit slots.
+
+Bit state is numpy-backed with an epoch-stamped O(1) reset: a bit is set
+iff its generation stamp equals the current epoch, so the per-interval
+clear (previously three 256K-iteration Python loops) is a single counter
+bump.  Membership behaviour is bit-for-bit identical to the scalar
+reference (:class:`repro.sketch.reference.ScalarBloomFilter`).
 """
 
 from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sketch.hashing import HashFamily
@@ -33,8 +43,18 @@ class BloomFilter:
         self.bits = bits
         self.num_hashes = num_hashes
         self._hashes = HashFamily(num_hashes, seed=seed)
-        self._arrays = [bytearray(bits) for _ in range(num_hashes)]
+        #: a bit is set iff its stamp equals the current epoch.
+        self._stamps = np.full((num_hashes, bits), -1, dtype=np.int32)
+        self._epoch = 0
         self.inserted = 0
+
+    @property
+    def hash_family(self) -> HashFamily:
+        """The per-array hash family (the digest layer precomputes bits)."""
+        return self._hashes
+
+    def _positions(self, key: bytes) -> Sequence[int]:
+        return self._hashes.indexes(key, self.bits)
 
     def add(self, key: bytes) -> bool:
         """Insert *key*; return True if it was (probably) already present.
@@ -43,29 +63,36 @@ class BloomFilter:
         reads the old bit and writes 1.  The key was present iff every old
         bit was already set.
         """
+        return self.add_at(self._positions(key))
+
+    def add_at(self, positions: Sequence[int]) -> bool:
+        """Test-and-set by precomputed bit positions (digest fast path)."""
+        epoch = self._epoch
+        stamps = self._stamps
         present = True
-        for row in range(self.num_hashes):
-            idx = self._hashes.index(row, key, self.bits)
-            arr = self._arrays[row]
-            if not arr[idx]:
+        for row, idx in enumerate(positions):
+            if stamps[row, idx] != epoch:
                 present = False
-                arr[idx] = 1
+                stamps[row, idx] = epoch
         if not present:
             self.inserted += 1
         return present
 
     def contains(self, key: bytes) -> bool:
         """Membership test without inserting."""
-        return all(
-            self._arrays[row][self._hashes.index(row, key, self.bits)]
-            for row in range(self.num_hashes)
-        )
+        return self.contains_at(self._positions(key))
+
+    def contains_at(self, positions: Sequence[int]) -> bool:
+        """Membership test by precomputed bit positions."""
+        epoch = self._epoch
+        stamps = self._stamps
+        return all(stamps[row, idx] == epoch
+                   for row, idx in enumerate(positions))
 
     def reset(self) -> None:
-        """Clear all bits (done at every statistics reset)."""
-        for arr in self._arrays:
-            for i in range(len(arr)):
-                arr[i] = 0
+        """Clear all bits (done at every statistics reset).  O(1): bumps
+        the generation stamp instead of zeroing the arrays."""
+        self._epoch += 1
         self.inserted = 0
 
     @property

@@ -4,14 +4,35 @@ The NetCache data plane uses a Count-Min sketch with 4 register arrays of
 64K 16-bit slots to estimate query frequencies of *uncached* keys (§4.4.3).
 Counters saturate at the 16-bit maximum rather than wrapping, mirroring the
 switch's saturating-add ALU behaviour.
+
+Counter state is numpy-backed with an **epoch-stamped O(1) reset**: instead
+of zeroing ``depth x width`` cells every controller round, ``reset()``
+bumps a generation counter and a cell is live only while its stamp matches
+the current generation.  Observable behaviour — hash placement, saturation,
+estimates — is bit-for-bit identical to the scalar reference
+(:class:`repro.sketch.reference.ScalarCountMinSketch`); the equivalence is
+property-tested.  ``update_batch`` applies a whole index batch with a
+handful of numpy calls while returning exactly the estimates a sequential
+scalar loop would have produced (duplicate slots within a batch see their
+running, not final, counts).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sketch.hashing import HashFamily
+
+
+def _counter_dtype(counter_bits: int):
+    if counter_bits <= 16:
+        return np.uint16
+    if counter_bits <= 32:
+        return np.uint32
+    return np.uint64
 
 
 class CountMinSketch:
@@ -45,8 +66,17 @@ class CountMinSketch:
         self.counter_bits = counter_bits
         self.max_count = (1 << counter_bits) - 1
         self._hashes = HashFamily(depth, seed=seed)
-        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._counts = np.zeros((depth, width), dtype=_counter_dtype(counter_bits))
+        #: generation stamp per cell; a cell is live iff its stamp equals
+        #: the current epoch, so reset() is O(1) in the sketch width.
+        self._stamps = np.full((depth, width), -1, dtype=np.int64)
+        self._epoch = 0
         self.total_updates = 0
+
+    @property
+    def hash_family(self) -> HashFamily:
+        """The row hash family (the digest layer precomputes against it)."""
+        return self._hashes
 
     # -- updates ---------------------------------------------------------
 
@@ -56,27 +86,98 @@ class CountMinSketch:
         This matches the data-plane behaviour where the increment and the
         hot-key comparison happen in the same pipeline pass.
         """
-        estimate = self.max_count
-        for row, idxs in enumerate(self._hashes.indexes(key, self.width)):
-            cell = min(self.max_count, self._rows[row][idxs] + count)
-            self._rows[row][idxs] = cell
+        return self.update_at(self._hashes.indexes(key, self.width), count)
+
+    def update_at(self, indexes: Sequence[int], count: int = 1) -> int:
+        """Update by precomputed per-row slot indexes (digest fast path)."""
+        epoch = self._epoch
+        counts = self._counts
+        stamps = self._stamps
+        max_count = self.max_count
+        estimate = max_count
+        for row, idx in enumerate(indexes):
+            base = int(counts[row, idx]) if stamps[row, idx] == epoch else 0
+            cell = base + count
+            if cell > max_count:
+                cell = max_count
+            counts[row, idx] = cell
+            stamps[row, idx] = epoch
             if cell < estimate:
                 estimate = cell
         self.total_updates += count
         return estimate
 
+    def update_batch(self, idx_matrix: np.ndarray, count: int = 1) -> np.ndarray:
+        """Apply one update per row of ``idx_matrix`` (shape ``n x depth``).
+
+        Returns the ``n`` estimates a sequential scalar loop would produce:
+        when a batch hits the same cell repeatedly, each occurrence sees the
+        counter *as of its own position* (computed from per-slot occurrence
+        ranks), not the batch's final value.  Saturation commutes with
+        positive increments, so clipping the running totals reproduces the
+        sequential saturating adds exactly.
+        """
+        idx_matrix = np.asarray(idx_matrix)
+        n = idx_matrix.shape[0]
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        if self.counter_bits > 62 or count > (1 << 62) // n:
+            # Not enough int64 headroom for the vector math: fall back to
+            # the (identical) scalar path.
+            return np.array([self.update_at(idx_matrix[j], count)
+                             for j in range(n)], dtype=np.int64)
+        epoch = self._epoch
+        max_count = self.max_count
+        estimates = np.full(n, max_count, dtype=np.int64)
+        positions = np.arange(n, dtype=np.int64)
+        scratch = np.empty(n, dtype=np.int64)
+        for row in range(self.depth):
+            cells = idx_matrix[:, row]
+            order = np.argsort(cells, kind="stable")
+            sorted_cells = cells[order]
+            counts_row = self._counts[row]
+            stamps_row = self._stamps[row]
+            base = np.where(stamps_row[sorted_cells] == epoch,
+                            counts_row[sorted_cells].astype(np.int64), 0)
+            new_group = np.empty(n, dtype=bool)
+            new_group[0] = True
+            np.not_equal(sorted_cells[1:], sorted_cells[:-1],
+                         out=new_group[1:])
+            starts = np.flatnonzero(new_group)
+            sizes = np.diff(np.append(starts, n))
+            # occurrence rank within each slot group, 1-based
+            rank = positions - np.repeat(starts, sizes) + 1
+            running = np.minimum(max_count, base + rank * count)
+            scratch[order] = running
+            np.minimum(estimates, scratch, out=estimates)
+            last = starts + sizes - 1
+            counts_row[sorted_cells[last]] = running[last]
+            stamps_row[sorted_cells[last]] = epoch
+        self.total_updates += n * count
+        return estimates
+
     def estimate(self, key: bytes) -> int:
         """Return the (over-)estimate of the key's count without updating."""
+        return self.estimate_at(self._hashes.indexes(key, self.width))
+
+    def estimate_at(self, indexes: Sequence[int]) -> int:
+        """Estimate by precomputed per-row slot indexes (digest fast path)."""
+        epoch = self._epoch
+        counts = self._counts
+        stamps = self._stamps
         return min(
-            self._rows[row][idx]
-            for row, idx in enumerate(self._hashes.indexes(key, self.width))
+            int(counts[row, idx]) if stamps[row, idx] == epoch else 0
+            for row, idx in enumerate(indexes)
         )
 
     def reset(self) -> None:
-        """Clear all counters (controller does this every second, §4.4.3)."""
-        for row in self._rows:
-            for i in range(len(row)):
-                row[i] = 0
+        """Clear all counters (controller does this every second, §4.4.3).
+
+        O(1): bumps the generation stamp instead of zeroing the arrays.
+        """
+        self._epoch += 1
         self.total_updates = 0
 
     # -- introspection ----------------------------------------------------
@@ -88,8 +189,8 @@ class CountMinSketch:
 
     def row_load(self, row: int) -> float:
         """Fraction of nonzero slots in *row* (diagnostic)."""
-        cells = self._rows[row]
-        return sum(1 for c in cells if c) / len(cells)
+        live = (self._stamps[row] == self._epoch) & (self._counts[row] != 0)
+        return int(np.count_nonzero(live)) / self.width
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,160 @@
+"""Key-digest interning: compute every per-key derived index once.
+
+Each packet that reaches the query-statistics engine used to pay ~8
+independent :func:`~repro.sketch.hashing.hash_bytes` passes — one per
+Count-Min row, one per Bloom array, one for the hash-mode sampler — even
+though all of them are pure functions of the raw key bytes.  The Tofino
+computes these in parallel hash units at line rate; in Python they dominate
+the wall-clock cost of a run.
+
+:class:`DigestTable` memoizes a :class:`KeyDigest` per key in a bounded
+FIFO table keyed by the raw key bytes, so the steady-state cost of the
+data-plane hot path drops to one dict probe.  The digests hold exactly the
+values the scalar code would compute — same hash family, same seeds, same
+modular reduction — so cached and uncached lookups are bit-for-bit
+interchangeable (property-tested in ``tests/test_prop_digest.py``).
+
+The sampler hash is the one epoch-dependent derived value: hash mode seeds
+the key hash with ``seed ^ (epoch * 0x9E37)`` so decisions decorrelate
+across statistics intervals.  The digest caches it per epoch and recomputes
+lazily when the epoch moves, which keeps a statistics ``reset()`` O(1) with
+respect to the digest table as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sketch.hashing import HashFamily, hash_bytes
+
+#: epoch-mixing constant of the hash-mode sampler (see PacketSampler).
+SAMPLER_EPOCH_GAMMA = 0x9E37
+
+#: default bound on interned keys; at ~200 bytes per digest this caps the
+#: table around a dozen MB while comfortably covering the hot head plus the
+#: recently-seen tail of a Zipf stream.
+DEFAULT_CAPACITY = 64 * 1024
+
+
+class KeyDigest:
+    """All derived indexes of one key, computed once.
+
+    ``cm_indexes`` are the Count-Min slot indexes (one per row),
+    ``bloom_bits`` the Bloom filter bit positions (one per array), and
+    ``fingerprint`` the short collision-check fingerprint of hashed-key
+    mode.  ``sampler_hash`` is valid only while ``sampler_epoch`` matches
+    the sampler's current epoch.
+    """
+
+    __slots__ = ("key", "cm_indexes", "bloom_bits", "fingerprint",
+                 "sampler_epoch", "sampler_hash")
+
+    def __init__(self, key: bytes, cm_indexes: Tuple[int, ...],
+                 bloom_bits: Tuple[int, ...], fingerprint: int):
+        self.key = key
+        self.cm_indexes = cm_indexes
+        self.bloom_bits = bloom_bits
+        self.fingerprint = fingerprint
+        self.sampler_epoch = -1
+        self.sampler_hash = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"KeyDigest({self.key!r}, cm={self.cm_indexes}, "
+                f"bloom={self.bloom_bits})")
+
+
+class DigestTable:
+    """Bounded FIFO memo table of :class:`KeyDigest` entries.
+
+    Eviction is FIFO over insertion order (Python dicts preserve it), which
+    keeps replays deterministic: the same key stream always produces the
+    same hit/miss/eviction sequence.  Correctness never depends on the
+    cache — an evicted key is simply recomputed to the identical digest.
+    """
+
+    def __init__(self,
+                 cm_family: HashFamily, cm_width: int,
+                 bloom_family: HashFamily, bloom_bits: int,
+                 sampler_seed: int = 0,
+                 fingerprint_bits: int = 32,
+                 fingerprint_seed: int = 0xF1F1,
+                 capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ConfigurationError("digest capacity must be positive")
+        if cm_width <= 0 or bloom_bits <= 0:
+            raise ConfigurationError("moduli must be positive")
+        self._cm_seeds = tuple(cm_family.seeds)
+        self._cm_width = cm_width
+        self._bloom_seeds = tuple(bloom_family.seeds)
+        self._bloom_bits = bloom_bits
+        self._sampler_seed = sampler_seed
+        self._fp_shift = 64 - fingerprint_bits
+        self._fp_seed = fingerprint_seed
+        self.capacity = capacity
+        self._table: Dict[bytes, KeyDigest] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def compute(self, key: bytes) -> KeyDigest:
+        """Build a digest without touching the memo table (reference path)."""
+        cm = tuple(hash_bytes(key, s) % self._cm_width
+                   for s in self._cm_seeds)
+        bloom = tuple(hash_bytes(key, s) % self._bloom_bits
+                      for s in self._bloom_seeds)
+        fp = hash_bytes(key, self._fp_seed) >> self._fp_shift
+        return KeyDigest(key, cm, bloom, fp)
+
+    def get(self, key: bytes) -> KeyDigest:
+        """Memoized digest of *key* (computes and interns on miss)."""
+        d = self._table.get(key)
+        if d is not None:
+            self.hits += 1
+            return d
+        self.misses += 1
+        d = self.compute(key)
+        table = self._table
+        if len(table) >= self.capacity:
+            # FIFO: drop the oldest interned key.
+            del table[next(iter(table))]
+            self.evictions += 1
+        table[key] = d
+        return d
+
+    def get_batch(self, keys: Sequence[bytes]) -> List[KeyDigest]:
+        """Digests for a key batch, preserving order (and FIFO eviction)."""
+        get = self.get
+        return [get(k) for k in keys]
+
+    def sampler_hash(self, digest: KeyDigest, epoch: int) -> int:
+        """Epoch-dependent sampler hash, memoized on the digest."""
+        if digest.sampler_epoch != epoch:
+            digest.sampler_hash = hash_bytes(
+                digest.key, self._sampler_seed ^ (epoch * SAMPLER_EPOCH_GAMMA))
+            digest.sampler_epoch = epoch
+        return digest.sampler_hash
+
+    def invalidate(self) -> None:
+        """Drop every interned digest (hash configuration changed)."""
+        self._table.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Telemetry snapshot (perf scenarios embed this)."""
+        return {"size": len(self._table), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+def digest_table_for(sketch, bloom, sampler,
+                     capacity: Optional[int] = None) -> DigestTable:
+    """Wire a :class:`DigestTable` to live sketch/bloom/sampler instances."""
+    return DigestTable(
+        sketch.hash_family, sketch.width,
+        bloom.hash_family, bloom.bits,
+        sampler_seed=sampler.hash_seed,
+        capacity=capacity if capacity is not None else DEFAULT_CAPACITY,
+    )

@@ -9,7 +9,7 @@ module so experiments are reproducible bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Tuple
 
 _MASK64 = (1 << 64) - 1
 
@@ -69,6 +69,11 @@ class HashFamily:
         self.num_hashes = num_hashes
         self.seed = seed
         self._seeds: List[int] = [_splitmix64(seed + i) for i in range(num_hashes)]
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        """Per-row stream seeds (the digest layer precomputes with these)."""
+        return tuple(self._seeds)
 
     def indexes(self, key: bytes, modulus: int) -> List[int]:
         """Return one index in ``[0, modulus)`` per hash function."""

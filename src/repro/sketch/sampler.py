@@ -8,14 +8,27 @@ survive high line rates, and its rate is configurable by the controller.
 The switch implementation would sample by comparing a hardware RNG against a
 threshold; we use a deterministic counter-based or seeded-pseudorandom
 strategy so experiments are reproducible.
+
+The hot path can pass a precomputed (digest-interned) key hash to
+:meth:`PacketSampler.sample`, and :meth:`PacketSampler.sample_batch` decides
+a whole key batch at once.  Both produce exactly the decisions the scalar
+per-key path would: hash mode compares the same hashes against the same
+threshold, and random mode draws the underlying RNG once per observed
+query, in order.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sketch.hashing import hash_bytes
+
+#: epoch-mixing constant (shared with repro.sketch.digest).
+_EPOCH_GAMMA = 0x9E37
 
 
 class PacketSampler:
@@ -41,6 +54,16 @@ class PacketSampler:
         self.observed = 0
         self.sampled = 0
 
+    @property
+    def hash_seed(self) -> int:
+        """Base seed of hash mode (the digest layer derives epoch seeds)."""
+        return self._seed
+
+    @property
+    def epoch(self) -> int:
+        """Current hash-mode epoch (advanced on statistics reset)."""
+        return self._epoch
+
     def set_rate(self, rate: float) -> None:
         """Set the sampling probability (controller API)."""
         if not 0.0 <= rate <= 1.0:
@@ -53,8 +76,16 @@ class PacketSampler:
         """Advance the hash-mode epoch (called on statistics reset)."""
         self._epoch += 1
 
-    def sample(self, key: bytes) -> bool:
-        """Return True if this query should be counted by the statistics."""
+    def key_hash(self, key: bytes) -> int:
+        """The hash-mode decision hash of *key* at the current epoch."""
+        return hash_bytes(key, self._seed ^ (self._epoch * _EPOCH_GAMMA))
+
+    def sample(self, key: bytes, h: Optional[int] = None) -> bool:
+        """Return True if this query should be counted by the statistics.
+
+        *h* may carry a precomputed :meth:`key_hash` (digest fast path);
+        it is only consulted in hash mode at fractional rates.
+        """
         self.observed += 1
         if self.rate >= 1.0:
             self.sampled += 1
@@ -64,11 +95,41 @@ class PacketSampler:
         if self.mode == "random":
             hit = self._rng.random() < self.rate
         else:
-            h = hash_bytes(key, self._seed ^ (self._epoch * 0x9E37))
+            if h is None:
+                h = self.key_hash(key)
             hit = h < self._threshold
         if hit:
             self.sampled += 1
         return hit
+
+    def sample_batch(self, keys: Sequence[bytes],
+                     hashes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Decide a whole batch; returns a boolean mask aligned with *keys*.
+
+        Identical to calling :meth:`sample` per key in order: random mode
+        draws the RNG sequentially, hash mode compares (optionally
+        precomputed) per-key hashes against the threshold.
+        """
+        n = len(keys)
+        self.observed += n
+        if self.rate >= 1.0:
+            self.sampled += n
+            return np.ones(n, dtype=bool)
+        if self.rate <= 0.0 or n == 0:
+            return np.zeros(n, dtype=bool)
+        if self.mode == "random":
+            rng_random = self._rng.random
+            rate = self.rate
+            hits = np.fromiter((rng_random() < rate for _ in range(n)),
+                               dtype=bool, count=n)
+        else:
+            if hashes is None:
+                key_hash = self.key_hash
+                hashes = np.fromiter((key_hash(k) for k in keys),
+                                     dtype=np.uint64, count=n)
+            hits = hashes < np.uint64(self._threshold)
+        self.sampled += int(np.count_nonzero(hits))
+        return hits
 
     def reset_stats(self) -> None:
         """Zero the observed/sampled counters (not the rate)."""

@@ -12,6 +12,7 @@ Installed as ``netcache-repro`` (see pyproject), or run as
     netcache-repro chaos --seed 7      # reproducible fault-injection run
     netcache-repro perf --scenario zipf99 --out BENCH_zipf99.json
     netcache-repro perf --scenario zipf99 --compare BENCH_zipf99.json
+    netcache-repro perf --scenario hotpath --compare BENCH_hotpath.json
 """
 
 from __future__ import annotations

@@ -13,6 +13,15 @@ Everything under the snapshot's ``results`` key is a pure function of
 byte-identically (tested in ``tests/test_perf_cli.py``).  Wall-clock
 readings — elapsed time, events/second, per-component time shares — live
 under the ``wall`` key, which comparisons and determinism checks ignore.
+
+Scenarios come in two kinds.  ``kind="cluster"`` runs the discrete-event
+rack.  ``kind="microbench"`` (the ``hotpath`` scenario) drives the data
+plane's statistics hot path directly — batched ``observe_reads`` over a
+Zipf key stream — and races it against the retained scalar reference
+implementation (:mod:`repro.sketch.reference`) on the same stream,
+requiring bit-identical reports.  Its deterministic counters are gated
+with exact equality; the measured speedup lands in the ``wall`` section
+(see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -59,6 +68,14 @@ class PerfScenario:
     link_loss: float = 0.0
     #: enable the client retry layer (idempotent writes, backoff+jitter).
     client_retries: bool = False
+    #: "cluster" = discrete-event rack; "microbench" = direct statistics
+    #: hot-path loop (no simulator).  For microbenches ``duration`` scales
+    #: the packet budget instead of simulated seconds.
+    kind: str = "cluster"
+    #: microbench knobs (ignored by cluster scenarios).
+    packets: int = 0
+    batch_size: int = 0
+    reset_every: int = 0
 
 
 SCENARIOS: Dict[str, PerfScenario] = {
@@ -81,6 +98,12 @@ SCENARIOS: Dict[str, PerfScenario] = {
             "must stay within 10% of lossless)",
             link_loss=0.10, client_retries=True,
             write_ratio=0.1, duration=0.5),
+        PerfScenario(
+            "hotpath", "statistics hot-path microbenchmark: batched "
+            "observe_reads raced against the scalar reference",
+            kind="microbench", num_keys=20_000, cache_items=1_000,
+            lookup_entries=4_096, value_slots=4_096,
+            packets=120_000, batch_size=4_000, reset_every=32_000),
     )
 }
 
@@ -96,6 +119,8 @@ def run_scenario(name: str, seed: int = 0,
             f"{', '.join(sorted(SCENARIOS))}")
     if duration is not None:
         scenario = dataclasses.replace(scenario, duration=duration)
+    if scenario.kind == "microbench":
+        return _run_microbench(scenario, seed, metrics_out)
 
     workload = Workload(WorkloadSpec(
         num_keys=scenario.num_keys, read_skew=scenario.skew,
@@ -203,6 +228,143 @@ def _build_snapshot(scenario: PerfScenario, seed: int, cluster: Cluster,
     }
 
 
+# -- the statistics hot-path microbenchmark ----------------------------------------
+
+
+def _run_microbench(scenario: PerfScenario, seed: int,
+                    metrics_out: Optional[str]) -> Dict:
+    """Drive the real data plane's statistics path, twice.
+
+    The measured pass streams a Zipf read workload through batched
+    ``observe_reads`` with warm digests (one untimed priming pass fills
+    the intern table, then statistics are reset — the steady state a
+    switch reaches within its first statistics interval).  The reference
+    pass replays the *same* stream through a scalar
+    :class:`~repro.sketch.reference.ScalarQueryStatistics` data plane that
+    hashes every key from scratch, and every observable output — hot
+    reports in order, hit/miss counts, per-key counters — must match
+    bit-for-bit, which lands in ``results.reference_matches``.
+    """
+    from repro.core.dataplane import NetCacheDataplane
+    from repro.core.stats import QueryStatistics
+    from repro.net.routing import RoutingTable
+    from repro.sketch.reference import ScalarQueryStatistics
+
+    if metrics_out:
+        raise ConfigurationError(
+            "--metrics-out applies only to cluster scenarios")
+    total = max(scenario.batch_size,
+                int(round(scenario.packets * scenario.duration)))
+    workload = Workload(WorkloadSpec(
+        num_keys=scenario.num_keys, read_skew=scenario.skew,
+        seed=seed, value_size=scenario.value_size))
+    stream = [key for _op, key in workload.queries(total)]
+    cached = workload.hottest_keys(scenario.cache_items)
+
+    def build(stats) -> NetCacheDataplane:
+        dp = NetCacheDataplane(RoutingTable(default_port=0),
+                               entries=scenario.lookup_entries,
+                               value_slots=scenario.value_slots,
+                               stats=stats)
+        ports = dp.num_pipes * dp.ports_per_pipe
+        for i, key in enumerate(cached):
+            dp.install(key, workload.value_for(key), i % ports)
+        return dp
+
+    def run_stream(dp: NetCacheDataplane, batched: bool) -> List[bytes]:
+        """Feed the stream with resets at fixed packet offsets; batch
+        boundaries are split at reset points so both drivers clear their
+        statistics at identical stream positions."""
+        hot: List[bytes] = []
+        reset_every = scenario.reset_every
+        pos = 0
+        while pos < total:
+            end = min(pos + scenario.batch_size, total)
+            if reset_every:
+                end = min(end, (pos // reset_every + 1) * reset_every)
+            chunk = stream[pos:end]
+            if batched:
+                hot.extend(dp.observe_reads(chunk))
+            else:
+                observe = dp.observe_read
+                for key in chunk:
+                    reported = observe(key)
+                    if reported is not None:
+                        hot.append(reported)
+            pos = end
+            if reset_every and pos % reset_every == 0:
+                dp.reset_statistics()
+        return hot
+
+    # Sample rate 1.0: every packet exercises the counter/sketch/Bloom
+    # path (the sampler's high-pass role belongs to cluster scenarios),
+    # and neither engine consumes RNG state, so the priming pass cannot
+    # perturb the measured pass's decisions.
+    fast = build(QueryStatistics(entries=scenario.lookup_entries,
+                                 hot_threshold=scenario.hot_threshold,
+                                 sample_rate=1.0, seed=seed))
+    run_stream(fast, batched=True)  # priming pass: fill the digest table
+    fast.reset_statistics()
+    hits0, misses0 = fast.cache_hits, fast.cache_misses
+    reports0, resets0 = fast.stats.reports, fast.stats.resets
+    fast.stats.sampler.reset_stats()
+
+    wall_start = time.perf_counter()
+    hot_fast = run_stream(fast, batched=True)
+    elapsed = time.perf_counter() - wall_start
+
+    ref = build(ScalarQueryStatistics(entries=scenario.lookup_entries,
+                                      hot_threshold=scenario.hot_threshold,
+                                      sample_rate=1.0, seed=seed))
+    ref_start = time.perf_counter()
+    hot_ref = run_stream(ref, batched=False)
+    ref_elapsed = time.perf_counter() - ref_start
+
+    cache_hits = fast.cache_hits - hits0
+    cache_misses = fast.cache_misses - misses0
+    matches = (hot_fast == hot_ref
+               and cache_hits == ref.cache_hits
+               and cache_misses == ref.cache_misses
+               and fast.stats.reports - reports0 == ref.stats.reports
+               and all(fast.counter_of(k) == ref.counter_of(k)
+                       for k in cached))
+    sampler = fast.stats.sampler
+    speedup = ref_elapsed / elapsed if elapsed > 0 else 0.0
+    pps = total / elapsed if elapsed > 0 else 0.0
+    ref_pps = total / ref_elapsed if ref_elapsed > 0 else 0.0
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "scenario": scenario.name,
+        "seed": seed,
+        "config": dataclasses.asdict(scenario),
+        "results": {
+            "packets": total,
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "hit_ratio": (cache_hits / total) if total else 0.0,
+            "hot_reports": len(hot_fast),
+            "resets": fast.stats.resets - resets0,
+            "sampler_observed": sampler.observed,
+            "sampler_sampled": sampler.sampled,
+            "digest": fast.stats.digests.stats(),
+            "reference_matches": matches,
+        },
+        "wall": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "elapsed_seconds": elapsed,
+            "packets_per_second": pps,
+            "reference_elapsed_seconds": ref_elapsed,
+            "reference_packets_per_second": ref_pps,
+            "speedup_vs_scalar": speedup,
+            "python": platform.python_version(),
+            "notes": (f"warm vectorized hot path ran {speedup:.1f}x the "
+                      f"scalar hash-per-access reference on this host "
+                      f"({pps:,.0f} vs {ref_pps:,.0f} packets/s over "
+                      f"{total} packets)"),
+        },
+    }
+
+
 def snapshot_to_json(snapshot: Dict) -> str:
     return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
 
@@ -214,6 +376,9 @@ def strip_volatile(snapshot: Dict) -> Dict:
 
 def render_snapshot(snapshot: Dict) -> str:
     """Human-readable digest of one snapshot."""
+    config = snapshot.get("config", {})
+    if isinstance(config, dict) and config.get("kind") == "microbench":
+        return _render_microbench(snapshot)
     r = snapshot["results"]
     lines = [
         f"scenario {snapshot['scenario']} seed={snapshot['seed']} "
@@ -242,6 +407,29 @@ def render_snapshot(snapshot: Dict) -> str:
     return "\n".join(lines)
 
 
+def _render_microbench(snapshot: Dict) -> str:
+    r = snapshot["results"]
+    w = snapshot.get("wall", {})
+    d = r["digest"]
+    return "\n".join([
+        f"scenario {snapshot['scenario']} seed={snapshot['seed']} "
+        f"packets={r['packets']}",
+        f"hot path     : {w.get('packets_per_second', 0.0):,.0f} packets/s "
+        f"(batched observe_reads, warm digests)",
+        f"reference    : {w.get('reference_packets_per_second', 0.0):,.0f} "
+        f"packets/s (scalar, hash per access)",
+        f"speedup      : {w.get('speedup_vs_scalar', 0.0):.1f}x",
+        f"cache        : {r['hit_ratio']:.1%} hit ratio "
+        f"({r['cache_hits']} hits / {r['cache_misses']} misses)",
+        f"statistics   : {r['hot_reports']} hot reports over "
+        f"{r['resets']} resets, {r['sampler_sampled']} sampled",
+        f"digests      : {d['size']} interned, {d['hits']} hits / "
+        f"{d['misses']} misses / {d['evictions']} evictions",
+        f"equivalence  : scalar reference "
+        f"{'matched bit-for-bit' if r['reference_matches'] else 'DIVERGED'}",
+    ])
+
+
 # -- regression gate --------------------------------------------------------------
 
 #: (path into the snapshot, direction) pairs guarded by --compare.
@@ -254,6 +442,29 @@ GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
     (("results", "latency", "client.request", "p50"), "lower"),
     (("results", "latency", "client.request", "p99"), "lower"),
 )
+
+#: microbench snapshots carry no sim-time latencies; their results are
+#: exact replay counters, so the gate demands equality ("equal" ignores
+#: the threshold — any drift means the hot path changed behaviour).
+MICROBENCH_GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("results", "packets"), "equal"),
+    (("results", "cache_hits"), "equal"),
+    (("results", "cache_misses"), "equal"),
+    (("results", "hot_reports"), "equal"),
+    (("results", "sampler_sampled"), "equal"),
+    (("results", "reference_matches"), "equal"),
+)
+
+
+def _guarded_metrics(snapshot: Dict) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
+    """The metric set a snapshot is gated on, by its scenario kind.
+
+    Cluster snapshots predate the ``kind`` field, so a missing kind means
+    "cluster" and old committed baselines stay valid unchanged.
+    """
+    config = snapshot.get("config")
+    kind = config.get("kind", "cluster") if isinstance(config, dict) else "cluster"
+    return MICROBENCH_GUARDED_METRICS if kind == "microbench" else GUARDED_METRICS
 
 
 def _get_path(snapshot: Dict, path: Tuple[str, ...]):
@@ -276,7 +487,7 @@ def validate_snapshot(snapshot: Dict) -> List[str]:
     for field in ("scenario", "seed", "config", "results"):
         if field not in snapshot:
             problems.append(f"missing top-level field {field!r}")
-    for path, _direction in GUARDED_METRICS:
+    for path, _direction in _guarded_metrics(snapshot):
         value = _get_path(snapshot, path)
         if not isinstance(value, (int, float)):
             problems.append(
@@ -299,13 +510,18 @@ def compare_snapshots(base: Dict, new: Dict,
         diffs.append(f"scenario mismatch: baseline ran "
                      f"{base.get('scenario')!r}, this run {new.get('scenario')!r}")
         return diffs
-    for path, direction in GUARDED_METRICS:
+    for path, direction in _guarded_metrics(new):
         dotted = ".".join(path)
         old = _get_path(base, path)
         cur = _get_path(new, path)
         if old is None or cur is None:
             diffs.append(f"metric {dotted} missing from "
                          f"{'baseline' if old is None else 'this run'}")
+            continue
+        if direction == "equal":
+            if old != cur:
+                diffs.append(f"{dotted}: {old!r} -> {cur!r} "
+                             f"(must replay identically)")
             continue
         if old == cur:
             continue

@@ -103,3 +103,37 @@ class TestRunUntil:
             q.schedule(1.0, lambda: None)
         assert q.run(max_events=3) == 3
         assert len(q) == 2
+
+
+class TestLiveCounter:
+    """len() is a maintained counter, so every cancel edge case must keep
+    it exact — a drifting counter would silently stall run loops that use
+    empty() to terminate."""
+
+    def test_cancel_after_run_is_noop(self):
+        q = EventQueue()
+        seen = []
+        ev = q.schedule(1.0, seen.append, "x")
+        q.schedule(2.0, seen.append, "y")
+        q.step()
+        ev.cancel()  # timer cleanup racing its own firing
+        assert seen == ["x"]
+        assert len(q) == 1 and not q.empty()
+        q.run()
+        assert seen == ["x", "y"]
+        assert len(q) == 0 and q.empty()
+
+    def test_double_cancel_counts_once(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert len(q) == 0 and q.empty()
+
+    def test_ordering_is_event_native(self):
+        q = EventQueue()
+        a = q.schedule(1.0, lambda: None)
+        b = q.schedule(1.0, lambda: None, priority=-1)
+        c = q.schedule(0.5, lambda: None)
+        assert c < b < a  # time first, then priority, then sequence
+        assert a.sort_key() == (1.0, 0, 0)

@@ -1,0 +1,125 @@
+"""Property tests for the key-digest intern table.
+
+The digest cache is an optimization that must be invisible: a digest served
+from the table, a digest recomputed after FIFO eviction, and a digest built
+by the uncached reference path must be field-for-field identical, for any
+key stream and any capacity.  The second half checks the reset contract —
+``QueryStatistics.reset()`` clears counters/sketch/Bloom but must not
+invalidate a single interned digest.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stats import QueryStatistics
+from repro.sketch.digest import DigestTable
+from repro.sketch.hashing import HashFamily, fingerprint, hash_bytes
+
+KEYS = st.binary(min_size=0, max_size=24)
+
+
+def make_table(capacity: int, cm_seed: int = 0, bloom_seed: int = 1,
+               sampler_seed: int = 7) -> DigestTable:
+    return DigestTable(HashFamily(4, seed=cm_seed), 1 << 10,
+                       HashFamily(3, seed=bloom_seed), 1 << 12,
+                       sampler_seed=sampler_seed, capacity=capacity)
+
+
+def assert_digest_matches_reference(table: DigestTable, digest) -> None:
+    key = digest.key
+    cm_fam = HashFamily(4, seed=0)
+    bloom_fam = HashFamily(3, seed=1)
+    assert list(digest.cm_indexes) == cm_fam.indexes(key, 1 << 10)
+    assert list(digest.bloom_bits) == bloom_fam.indexes(key, 1 << 12)
+    assert digest.fingerprint == fingerprint(key)
+
+
+@settings(max_examples=100, deadline=None)
+@given(stream=st.lists(KEYS, max_size=60), capacity=st.integers(1, 8))
+def test_cached_digests_equal_reference_under_churn(stream, capacity):
+    """Any hit/miss/eviction interleaving serves reference-exact digests."""
+    table = make_table(capacity)
+    for key in stream:
+        served = table.get(key)
+        ref = table.compute(key)
+        assert served.key == ref.key == key
+        assert served.cm_indexes == ref.cm_indexes
+        assert served.bloom_bits == ref.bloom_bits
+        assert served.fingerprint == ref.fingerprint
+        assert_digest_matches_reference(table, served)
+        assert len(table) <= capacity
+    stats = table.stats()
+    assert stats["hits"] + stats["misses"] == len(stream)
+    assert stats["misses"] - stats["evictions"] == len(table)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=st.lists(KEYS, min_size=1, max_size=40),
+       capacity=st.integers(1, 4))
+def test_eviction_is_fifo_and_recomputation_identical(stream, capacity):
+    """The table evicts oldest-first, and a re-interned digest is
+    indistinguishable from the evicted one."""
+    table = make_table(capacity)
+    fifo = []  # model: insertion-ordered interned keys
+    for key in stream:
+        if key in fifo:
+            table.get(key)
+            continue
+        first = table.get(key)
+        if len(fifo) >= capacity:
+            fifo.pop(0)
+        fifo.append(key)
+        assert list(table._table) == fifo
+        # Whatever later eviction does to this entry, recomputation (the
+        # post-eviction path) yields the identical digest.
+        snapshot = (first.cm_indexes, first.bloom_bits, first.fingerprint)
+        again = table.compute(key)
+        assert (again.cm_indexes, again.bloom_bits,
+                again.fingerprint) == snapshot
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=st.lists(KEYS, min_size=1, max_size=30, unique=True),
+       resets=st.integers(1, 4))
+def test_stats_reset_invalidates_nothing_it_should_not(keys, resets):
+    """reset() clears the counting state and nothing else: interned digest
+    objects survive by identity, their epoch-independent fields are
+    untouched, and only the sampler hash re-derives at the new epoch."""
+    stats = QueryStatistics(entries=64, hot_threshold=2, sample_rate=0.5,
+                            seed=3, sampler_mode="hash")
+    for key in keys:
+        stats.heavy_hitter_count(key)
+    table = stats.digests
+    before = {k: table.get(k) for k in keys}
+    fields = {k: (d.cm_indexes, d.bloom_bits, d.fingerprint)
+              for k, d in before.items()}
+    hashes_by_epoch = {}
+    for _ in range(resets):
+        epoch = stats.sampler.epoch
+        hashes_by_epoch[epoch] = {
+            k: table.sampler_hash(before[k], epoch) for k in keys}
+        size_before = len(table)
+        stats.reset()
+        # Digest table untouched: same size, same objects, same fields.
+        assert len(table) == size_before
+        for k in keys:
+            d = table.get(k)
+            assert d is before[k]
+            assert (d.cm_indexes, d.bloom_bits, d.fingerprint) == fields[k]
+        # Counting state is gone...
+        assert all(stats.read_counter(i) == 0 for i in range(64))
+        assert all(stats.sketch.estimate(k) == 0 for k in keys)
+        assert not any(stats.bloom.contains(k) for k in keys)
+        # ...and the sampler hash re-derives to the documented mix for the
+        # *new* epoch while old-epoch hashes stay reproducible.
+        new_epoch = stats.sampler.epoch
+        assert new_epoch == epoch + 1
+        for k in keys:
+            assert table.sampler_hash(before[k], new_epoch) == \
+                stats.sampler.key_hash(k)
+    # Every epoch's hash is a pure function of (key, epoch): recomputing
+    # an old epoch after many resets reproduces the recorded value.
+    for epoch, per_key in hashes_by_epoch.items():
+        for k, h in per_key.items():
+            assert table.sampler_hash(before[k], epoch) == h
+            assert h == hash_bytes(
+                k, stats.sampler.hash_seed ^ (epoch * 0x9E37))
