@@ -268,11 +268,16 @@ class WorkloadClient(NetCacheClient):
         self._interval_sent = 0
         self._interval_received = 0
         self.running = False
+        #: When True an external engine (the batched fast path) owns the
+        #: send loop: start() only flips ``running`` and schedules nothing.
+        self.external_driver = False
         #: (time, rate, loss) samples, one per control interval.
         self.rate_trace: List[Tuple[float, float, float]] = []
 
     def start(self) -> None:
         self.running = True
+        if self.external_driver:
+            return
         self.sim.schedule(0.0, self._send_tick)
         if self.rate_controller is not None:
             self.sim.schedule(self.control_interval, self._control_tick)

@@ -17,6 +17,8 @@ from __future__ import annotations
 import random
 from typing import List
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -37,6 +39,10 @@ class PopularityMap:
     def items_at(self, ranks) -> List[int]:
         table = self._item_of_rank
         return [table[r] for r in ranks]
+
+    def items_array(self) -> np.ndarray:
+        """Rank -> item id table as an int64 array (vectorized items_at)."""
+        return np.asarray(self._item_of_rank, dtype=np.int64)
 
     def top_items(self, k: int) -> List[int]:
         """The *k* currently-hottest item ids, hottest first."""

@@ -87,6 +87,44 @@ class Workload:
         for _ in range(count):
             yield self.next_query()
 
+    def _next_is_writes(self, count: int) -> np.ndarray:
+        """Batch form of :meth:`_next_is_write` (same draws, same buffer)."""
+        w = self.spec.write_ratio
+        if w <= 0.0:
+            return np.zeros(count, dtype=bool)
+        if w >= 1.0:
+            return np.ones(count, dtype=bool)
+        out = np.empty(count, dtype=bool)
+        filled = 0
+        while filled < count:
+            if self._op_buffer is None or self._op_pos >= len(self._op_buffer):
+                self._op_buffer = self._rng.random(4096) < w
+                self._op_pos = 0
+            take = min(count - filled, len(self._op_buffer) - self._op_pos)
+            out[filled:filled + take] = \
+                self._op_buffer[self._op_pos:self._op_pos + take]
+            self._op_pos += take
+            filled += take
+        return out
+
+    def next_queries(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw the next *count* queries as ``(write_mask, item_ids)``.
+
+        Equivalent to *count* calls of :meth:`next_query` — identical op
+        flags, identical ranks, identical generator states afterwards —
+        because the op flags and the two rank generators each consume their
+        own RNG stream in the same per-stream order either way.
+        """
+        flags = self._next_is_writes(count)
+        n_writes = int(flags.sum())
+        ranks = np.empty(count, dtype=np.int64)
+        if n_writes:
+            ranks[flags] = self._write_gen.next_ranks(n_writes)
+        if count - n_writes:
+            ranks[~flags] = self._read_gen.next_ranks(count - n_writes)
+        items = self.popularity.items_array()[ranks]
+        return flags, items
+
     def value_for(self, key: bytes) -> bytes:
         """Deterministic value for *key* (store preloading + verification)."""
         item = self.keyspace.item(key)

@@ -75,6 +75,28 @@ class ZipfGenerator:
         self._pos += 1
         return rank
 
+    def next_ranks(self, count: int) -> np.ndarray:
+        """Return the next *count* ranks as an array.
+
+        Consumes the refill buffer exactly like *count* calls to
+        :meth:`next_rank` — same values, same RNG draws, same buffer state
+        afterwards — so the batched fast path and the scalar loop stay on
+        one stream.
+        """
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            if self._buffer is None or self._pos >= len(self._buffer):
+                self._buffer = self.dist.sample_ranks(self._batch_size,
+                                                      self._rng)
+                self._pos = 0
+            take = min(count - filled, len(self._buffer) - self._pos)
+            out[filled:filled + take] = \
+                self._buffer[self._pos:self._pos + take]
+            self._pos += take
+            filled += take
+        return out
+
     def sample(self, count: int) -> np.ndarray:
         """Return *count* ranks as an array (bypasses the buffer)."""
         return self.dist.sample_ranks(count, self._rng)

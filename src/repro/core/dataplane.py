@@ -27,7 +27,7 @@ from repro.constants import (
     VALUE_SLOT_SIZE,
 )
 from repro.core.lookup import CacheLookupTable, LookupResult
-from repro.core.memory import SwitchMemoryManager
+from repro.core.memory import Allocation, SwitchMemoryManager
 from repro.core.primitives import port_to_pipe
 from repro.core.stats import QueryStatistics
 from repro.core.status import CacheStatusModule
@@ -63,6 +63,16 @@ class PipelineResult:
 class PortedPacket:
     port: int
     packet: Packet
+
+
+@dataclasses.dataclass
+class ReadBatchResult:
+    """Outcome of :meth:`NetCacheDataplane.process_read_batch`."""
+
+    #: True where the read was served from the cache, in stream order.
+    hit_mask: np.ndarray
+    #: ``(position, key)`` hot-key reports, positions indexing the batch.
+    hot: List
 
 
 class NetCacheDataplane:
@@ -222,6 +232,42 @@ class NetCacheDataplane:
         self.cache_misses += 1
         return self.stats.heavy_hitter_count(key)
 
+    def _classify_reads(self, keys: Sequence[bytes], read_values: bool):
+        """Classify a read stream against the lookup table.
+
+        Returns ``(hit_mask, hit_indexes, miss_keys, miss_pos)``; with
+        *read_values* each valid hit also reads its value registers, which
+        is the accounting difference between a real Get (:meth:`_serve_hit`)
+        and a statistics-only observation (:meth:`observe_read`).
+        """
+        probe = self.lookup.probe
+        status = self.status
+        values = self.values
+        ports_per_pipe = self.ports_per_pipe
+        num_pipes = self.num_pipes
+        hit_mask = np.zeros(len(keys), dtype=bool)
+        hit_indexes: List[int] = []
+        miss_keys: List[bytes] = []
+        miss_pos: List[int] = []
+        for j, key in enumerate(keys):
+            entry = probe(key)
+            if entry is not None:
+                key_index = entry["key_index"]
+                pipe = (entry["egress_port"] // ports_per_pipe) % num_pipes
+                if status[pipe].is_valid(key_index):
+                    hit_mask[j] = True
+                    hit_indexes.append(key_index)
+                    if read_values:
+                        values[pipe].read(Allocation(
+                            index=entry["value_index"],
+                            bitmap=entry["bitmap"]))
+                    continue
+            miss_keys.append(key)
+            miss_pos.append(j)
+        self.cache_hits += len(hit_indexes)
+        self.cache_misses += len(miss_keys)
+        return hit_mask, hit_indexes, miss_keys, miss_pos
+
     def observe_reads(self, keys: Sequence[bytes]) -> List[bytes]:
         """Batch :meth:`observe_read`: returns the keys to report hot.
 
@@ -237,25 +283,8 @@ class NetCacheDataplane:
         if not keys:
             return []
         stats = self.stats
-        probe = self.lookup.probe
-        status = self.status
-        ports_per_pipe = self.ports_per_pipe
-        num_pipes = self.num_pipes
-        hit_mask = np.zeros(len(keys), dtype=bool)
-        hit_indexes: List[int] = []
-        miss_keys: List[bytes] = []
-        for j, key in enumerate(keys):
-            entry = probe(key)
-            if entry is not None:
-                key_index = entry["key_index"]
-                pipe = (entry["egress_port"] // ports_per_pipe) % num_pipes
-                if status[pipe].is_valid(key_index):
-                    hit_mask[j] = True
-                    hit_indexes.append(key_index)
-                    continue
-            miss_keys.append(key)
-        self.cache_hits += len(hit_indexes)
-        self.cache_misses += len(miss_keys)
+        hit_mask, hit_indexes, miss_keys, _ = \
+            self._classify_reads(keys, read_values=False)
         decisions = stats.sample_batch(keys)
         if hit_indexes:
             stats.cache_count_batch(hit_indexes, decisions[hit_mask])
@@ -263,6 +292,35 @@ class NetCacheDataplane:
             return stats.heavy_hitter_count_batch(
                 miss_keys, decisions=decisions[~hit_mask])
         return []
+
+    def process_read_batch(self, keys: Sequence[bytes]) -> "ReadBatchResult":
+        """Run a batch of Get packets through the read pipeline.
+
+        Equivalent to calling :meth:`_process_get` once per key in stream
+        order — same table/status/value-register accounting, same sampler
+        draws, same Count-Min/Bloom updates, same hot reports — but with
+        the statistics applied via the vectorized batch kernels.  Packet
+        rewriting and routing stay with the caller (the batched fast path
+        routes whole lanes at once).  Hot reports come back as
+        ``(position, key)`` pairs so the caller can schedule each at its
+        packet's arrival time.
+        """
+        keys = list(keys)
+        if not keys:
+            return ReadBatchResult(np.zeros(0, dtype=bool), [])
+        stats = self.stats
+        hit_mask, hit_indexes, miss_keys, miss_pos = \
+            self._classify_reads(keys, read_values=True)
+        decisions = stats.sample_batch(keys)
+        if hit_indexes:
+            stats.cache_count_batch(hit_indexes, decisions[hit_mask])
+        hot: List = []
+        if miss_keys:
+            reported = stats.heavy_hitter_count_batch(
+                miss_keys, decisions=decisions[~hit_mask],
+                with_positions=True)
+            hot = [(miss_pos[p], key) for p, key in reported]
+        return ReadBatchResult(hit_mask, hot)
 
     # -- control-plane API (used by the controller) ---------------------------------
 

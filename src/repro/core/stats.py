@@ -132,7 +132,8 @@ class QueryStatistics:
 
     def heavy_hitter_count_batch(
             self, keys: Sequence[bytes],
-            decisions: Optional[np.ndarray] = None) -> List[bytes]:
+            decisions: Optional[np.ndarray] = None,
+            with_positions: bool = False) -> List:
         """Batch equivalent of :meth:`heavy_hitter_count`.
 
         Returns the hot keys to report, in stream order, exactly as the
@@ -141,22 +142,27 @@ class QueryStatistics:
         Bloom test-and-set runs over threshold crossers in order.  Pass
         *decisions* to reuse sampler verdicts already drawn for this batch
         (the data plane samples hits and misses in one interleaved pass).
+        With *with_positions* the result is ``[(position, key), ...]`` where
+        *position* indexes into *keys* — the batched dataplane uses it to
+        recover each report's arrival timestamp.
         """
         digests = self.digests.get_batch(keys)
         if decisions is None:
             decisions = self.sample_batch(keys, digests=digests)
-        sampled = [d for d, hit in zip(digests, decisions) if hit]
-        if not sampled:
+        sampled_pos = np.flatnonzero(np.asarray(decisions, dtype=bool))
+        if not len(sampled_pos):
             return []
+        sampled = [digests[p] for p in sampled_pos]
         idx_matrix = np.array([d.cm_indexes for d in sampled], dtype=np.int64)
         estimates = self.sketch.update_batch(idx_matrix)
-        hot: List[bytes] = []
+        hot: List = []
         bloom_add = self.bloom.add_at
         for j in np.flatnonzero(estimates >= self.hot_threshold):
             digest = sampled[j]
             if not bloom_add(digest.bloom_bits):
                 self.reports += 1
-                hot.append(digest.key)
+                hot.append((int(sampled_pos[j]), digest.key)
+                           if with_positions else digest.key)
         return hot
 
     # -- control-plane operations ----------------------------------------------

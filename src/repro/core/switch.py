@@ -105,6 +105,28 @@ class NetCacheSwitch(PlainSwitch):
         port = self._port_of_neighbor.get(pkt.last_hop)
         return port if port is not None else 0
 
+    # -- batched fast path (see repro.net.fastpath) -----------------------------------
+
+    def process_read_batch(self, keys):
+        """Batch arrival of Get packets: switch counters + read pipeline.
+
+        Per-packet accounting matches :meth:`handle_packet` for a Get: one
+        ``processed`` and — since every read forwards exactly one packet,
+        the cache reply or the miss forward — one ``forwarded``.  Actual
+        transmission and hot-report scheduling stay with the caller.
+        """
+        n = len(keys)
+        self.processed += n
+        result = self.dataplane.process_read_batch(keys)
+        self.forwarded += n
+        return result
+
+    def process_reply_batch(self, count: int) -> None:
+        """Batch of Get replies transiting server -> client: each is one
+        ``processed`` plus one routed ``forwarded``, no dataplane state."""
+        self.processed += count
+        self.forwarded += count
+
     # -- control-plane surface used by the controller ---------------------------------
 
     def egress_port_of(self, server_id: int) -> int:

@@ -84,6 +84,38 @@ class EventQueue:
         """Schedule at an absolute time (must not precede the clock)."""
         return self.schedule(when - self.now, callback, *args, priority=priority)
 
+    def schedule_abs(self, when: float, callback: Callback, *args: Any,
+                     priority: int = 0) -> Event:
+        """Schedule at *exactly* the absolute time *when*.
+
+        :meth:`schedule_at` routes through a relative delay, so the event
+        lands at ``now + (when - now)`` — one ulp off *when* for most
+        floats.  The batched fast path needs events at bit-exact times (its
+        equivalence gate compares float timestamps), so this constructs the
+        event directly at *when*.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (when={when}, now={self.now})")
+        ev = Event(when, priority, next(self._seq), callback, args, queue=self)
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None when the queue is empty.
+
+        Cancelled heads are popped eagerly so the answer is exact; the
+        batched fast path uses this to pick its flush boundaries without
+        disturbing event order."""
+        while self._heap:
+            ev = self._heap[0]
+            if ev.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return ev.time
+        return None
+
     def step(self) -> bool:
         """Run the next pending event; returns False when the queue is empty."""
         while self._heap:

@@ -1,0 +1,702 @@
+"""Batched simulator-core fast path ("lanes" engine).
+
+The discrete-event loop in :mod:`repro.net.simulator` pushes one Python
+:class:`~repro.net.packet.Packet` through several callbacks per hop — an
+event for every delivery, a sampler draw per packet, a heap operation per
+event.  That caps every scale item in the ROADMAP: the paper's Fig 9-11
+numbers come from billions of packets.
+
+:class:`FastPathEngine` removes the per-packet event machinery for the
+dominant traffic class — read queries over a healthy rack — while keeping
+the scalar loop as the executable specification (the same pattern as
+``sketch/reference.py`` for the statistics path):
+
+* **Lanes.** In-flight reads are carried as numpy record chunks (time,
+  item, seq, sent-at) in per-hop FIFOs: client→switch arrivals, per-server
+  arrivals, per-server completions, server→switch replies, switch→client
+  replies.  Between two event-queue boundaries the engine bulk-generates
+  the client's send times (the exact chained ``now + 1/rate`` float
+  recurrence of ``WorkloadClient._send_tick``), then flushes the lanes
+  stage by stage: parse → cache lookup → statistics (PR 4's batch kernels
+  via :meth:`NetCacheDataplane.process_read_batch`) → route, applying the
+  same counter increments the scalar path would, in the same stream order.
+* **Events stay authoritative.** Anything that is not a clean-window read
+  — writes, cache-update coherence traffic, controller RPCs, retries,
+  hot-key reports — runs as ordinary events.  The engine only flushes lane
+  entries strictly earlier than the next pending event, so scalar state
+  transitions (invalidations, insertions, statistics resets) interleave
+  with batched reads exactly as they would with per-packet events.
+* **Fault windows fall back.** A window is *clean* when the rack links are
+  deterministic (:meth:`Link.is_clean`), the switch and client are up, and
+  no observability session is active.  When a fault opens, pending lane
+  entries are materialized back into real delivery/completion events (with
+  matching ``_outstanding`` bookkeeping) and the engine drives the client
+  with a real per-packet send chain until the rack is clean again.  Down
+  *servers* do not dirty a window: their drops are deterministic node
+  drops, accounted at the same times as the scalar path.
+
+Equivalence contract: after ``run_until(t)`` every gated counter — sim
+delivered/lost/node_drops, client/server/switch/dataplane/statistics/
+controller counters, per-link counters, the client latency list, and the
+delivery-trace digest — is byte-identical to the scalar reference run.
+The only accepted divergence is the relative order of *distinct* packets
+whose float timestamps collide exactly (the scalar loop breaks such ties
+by event sequence number, which the lanes do not reproduce); with the
+default non-zero link latencies this requires an exact float collision.
+``tests/test_prop_simcore.py`` and the ``simcore`` perf scenario gate the
+contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.client.api import WorkloadClient, _Outstanding
+from repro.constants import CLIENT_OVERHEAD
+from repro.core.switch import NetCacheSwitch
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet, make_get
+from repro.net.protocol import Op
+from repro.obs import runtime as _obs
+
+#: queries pre-drawn from the workload per refill (draw order per RNG
+#: stream is what matters, not the batch size).
+QUERY_BATCH = 8192
+
+_FAST = "fast"
+_SCALAR = "scalar"
+
+
+class _Lane:
+    """FIFO of record chunks; a consumed prefix is tracked per chunk.
+
+    Most lanes are globally time-ordered (chunks are appended in flush
+    order and each chunk is internally monotone); the client-reply lane
+    has two producers (cache hits and miss replies) and is merged by a
+    stable time sort at flush instead.
+    """
+
+    __slots__ = ("chunks",)
+
+    def __init__(self):
+        self.chunks: List[dict] = []
+
+    def push(self, t: np.ndarray, **cols) -> None:
+        if len(t) == 0:
+            return
+        chunk = {"t": t, "pos": 0}
+        chunk.update(cols)
+        self.chunks.append(chunk)
+
+    def take(self, limit: float, inclusive: bool, monotone: bool = True):
+        """Consume and return ``(chunk, start, stop)`` slices with
+        ``t < limit`` (``<=`` when *inclusive*)."""
+        out = []
+        side = "right" if inclusive else "left"
+        for chunk in self.chunks:
+            pos = chunk["pos"]
+            t = chunk["t"]
+            if pos >= len(t):
+                continue
+            stop = int(np.searchsorted(t, limit, side=side))
+            if stop <= pos:
+                if monotone:
+                    break
+                continue
+            chunk["pos"] = stop
+            out.append((chunk, pos, stop))
+        if out:
+            self.chunks = [c for c in self.chunks if c["pos"] < len(c["t"])]
+        return out
+
+    def pending(self) -> int:
+        return sum(len(c["t"]) - c["pos"] for c in self.chunks)
+
+    def clear(self) -> None:
+        self.chunks = []
+
+
+class FastPathEngine:
+    """Batched driver for one WorkloadClient over one NetCache rack.
+
+    Parameters
+    ----------
+    cluster:
+        A :class:`repro.sim.cluster.Cluster` (cache enabled).
+    client:
+        The rack's single :class:`WorkloadClient`; must have no retry
+        policy and no AIMD controller (both would consume per-packet RNG
+        or expire in-flight requests, which only the scalar loop orders
+        correctly).  The engine takes over its send loop.
+    trace:
+        Optional delivery-trace digest (:class:`repro.net.trace.
+        DeliveryTrace`); it is registered as a delivery hook for scalar
+        segments and fed directly by the lanes.
+    """
+
+    def __init__(self, cluster, client: WorkloadClient, trace=None):
+        switch = cluster.switch
+        if not isinstance(switch, NetCacheSwitch):
+            raise ConfigurationError("fast path needs a NetCacheSwitch rack")
+        if not isinstance(client, WorkloadClient):
+            raise ConfigurationError("fast path drives a WorkloadClient")
+        if client.retry_policy is not None:
+            raise ConfigurationError(
+                "fast path does not support client retries")
+        if client.rate_controller is not None:
+            raise ConfigurationError(
+                "fast path does not support AIMD rate control")
+        others = [c for c in cluster.clients
+                  if isinstance(c, WorkloadClient) and c is not client]
+        if others:
+            raise ConfigurationError(
+                "fast path supports exactly one workload client")
+        for server in cluster.servers.values():
+            if server.queue_limit is not None:
+                raise ConfigurationError(
+                    "fast path needs unbounded server queues")
+
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.events = cluster.sim.events
+        self.client = client
+        self.workload = client.workload
+        self.switch = switch
+        self.tor_id = switch.node_id
+        self.client_id = client.node_id
+        self._servers = dict(cluster.servers)
+        self._trace = trace
+
+        sim = self.sim
+        self._client_link = sim.link_between(self.client_id, self.tor_id)
+        self._server_links = {
+            sid: sim.link_between(self.tor_id, sid) for sid in self._servers}
+        self._watched_links = [self._client_link] + \
+            list(self._server_links.values())
+
+        keyspace = self.workload.keyspace
+        self._key_of_item = [keyspace.key(i)
+                             for i in range(keyspace.num_keys)]
+        self._server_of_item = np.fromiter(
+            (client.partitioner.server_for(k) for k in self._key_of_item),
+            dtype=np.int64, count=keyspace.num_keys)
+
+        # Lanes.
+        self._sw_arr = _Lane()
+        self._srv_arr: Dict[int, _Lane] = {s: _Lane() for s in self._servers}
+        self._srv_done: Dict[int, _Lane] = {s: _Lane() for s in self._servers}
+        self._sw_rep: Dict[int, _Lane] = {s: _Lane() for s in self._servers}
+        self._cli_rep = _Lane()
+
+        # Pre-drawn query buffer (shared by bulk and scalar-fallback sends).
+        self._q_flags: Optional[np.ndarray] = None
+        self._q_items: Optional[np.ndarray] = None
+        self._q_pos = 0
+
+        self._mode = _FAST
+        self._started = False
+        self._next_send_time = 0.0
+        self._pending_send = None
+        self._own_hooks = set()
+        if trace is not None:
+            hook = trace.as_hook()
+            sim.delivery_hooks.append(hook)
+            self._own_hooks.add(hook)
+        #: windows handed to the scalar loop (telemetry, not gated).
+        self.scalar_fallbacks = 0
+        #: lane entries materialized into events on fallback (telemetry).
+        self.materialized = 0
+
+    # -- cleanliness --------------------------------------------------------------
+
+    def fault_window_open(self) -> bool:
+        """True while the rack is not eligible for batched windows."""
+        return not self._rack_clean()
+
+    def _rack_clean(self) -> bool:
+        if _obs.ACTIVE is not None:
+            return False
+        sim = self.sim
+        down = sim._down_nodes
+        if self.tor_id in down or self.client_id in down:
+            return False
+        for hook in sim.delivery_hooks:
+            if hook not in self._own_hooks:
+                return False
+        if sim.drop_hooks:
+            return False
+        now = sim.now
+        for link in self._watched_links:
+            if not link.is_clean(now):
+                return False
+        return True
+
+    # -- run loop -----------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        self.run_until(self.sim.now + duration)
+
+    def run_until(self, t_end: float) -> None:
+        events = self.events
+        if not self._started:
+            # Must precede sim.start(): the client's start() would
+            # otherwise schedule its own send chain.
+            self.client.external_driver = True
+            self.sim.start()
+            self._started = True
+            self._next_send_time = self.sim.now
+        while True:
+            if self._mode is _SCALAR:
+                if self._rack_clean():
+                    self._enter_fast()
+                    continue
+                nev = events.peek_time()
+                if nev is None or nev > t_end:
+                    break
+                events.step()
+                continue
+            if not self._rack_clean():
+                self._enter_scalar()
+                continue
+            nev = events.peek_time()
+            boundary = t_end if nev is None else min(nev, t_end)
+            inclusive = nev is None or nev > t_end
+            if self._generate_sends(boundary, inclusive):
+                nev = events.peek_time()
+                boundary = t_end if nev is None else min(nev, t_end)
+                inclusive = nev is None or nev > t_end
+            self._flush_lanes(boundary, inclusive)
+            # Flushing may have scheduled hot-key reports inside the
+            # window; re-peek so they fire like any other event.
+            nev = events.peek_time()
+            if nev is not None and nev <= t_end:
+                events.step()
+                continue
+            break
+        if t_end > events.now:
+            events.now = t_end
+
+    def in_flight(self) -> int:
+        """Requests currently on the wire (lanes + scalar outstanding)."""
+        lanes = self._sw_arr.pending() + self._cli_rep.pending()
+        for group in (self._srv_arr, self._srv_done, self._sw_rep):
+            lanes += sum(lane.pending() for lane in group.values())
+        return lanes + len(self.client._outstanding)
+
+    # -- send generation -----------------------------------------------------------
+
+    def _ensure_queries(self) -> int:
+        if self._q_flags is None or self._q_pos >= len(self._q_flags):
+            self._q_flags, self._q_items = \
+                self.workload.next_queries(QUERY_BATCH)
+            self._q_pos = 0
+        return len(self._q_flags) - self._q_pos
+
+    def _send_times(self, start: float, n: int) -> np.ndarray:
+        """``n + 1`` chained send times starting at *start*.
+
+        ``times[i+1] = times[i] + 1/rate`` with the same left-fold float
+        rounding as the scalar ``schedule(1.0 / self.rate, ...)`` chain
+        (ufunc.accumulate is a strict sequential fold, unlike pairwise
+        reductions).
+        """
+        arr = np.empty(n + 1)
+        arr[0] = start
+        arr[1:] = 1.0 / self.client.rate
+        return np.add.accumulate(arr)
+
+    def _generate_sends(self, boundary: float, inclusive: bool) -> bool:
+        """Issue every client send in ``[next_send, boundary)`` (closed at
+        *boundary* when *inclusive*).  Reads go to the lanes in bulk;
+        the first pre-drawn write becomes a real event (returns True)."""
+        client = self.client
+        if not client.running:
+            return False
+        while True:
+            t0 = self._next_send_time
+            if t0 > boundary or (t0 == boundary and not inclusive):
+                return False
+            avail = self._ensure_queries()
+            est = int((boundary - t0) * client.rate) + 2
+            n = min(avail, est)
+            times = self._send_times(t0, n)
+            side = "right" if inclusive else "left"
+            count = int(np.searchsorted(times[:n], boundary, side=side))
+            if count == 0:
+                return False
+            flags = self._q_flags[self._q_pos:self._q_pos + count]
+            first_write = int(np.argmax(flags)) if flags.any() else -1
+            if first_write == 0:
+                item = int(self._q_items[self._q_pos])
+                self._q_pos += 1
+                self._next_send_time = float(times[1])
+                self.events.schedule_abs(t0, self._send_write, item)
+                return True
+            m = count if first_write < 0 else first_write
+            self._bulk_send(times[:m].copy(),
+                            self._q_items[self._q_pos:self._q_pos + m].copy())
+            self._q_pos += m
+            self._next_send_time = float(times[m])
+            if first_write >= 0:
+                continue  # the write is the next query
+            if count < n:
+                return False  # boundary reached
+            # pre-drawn buffer exhausted mid-window: refill and continue
+
+    def _bulk_send(self, times: np.ndarray, items: np.ndarray) -> None:
+        client = self.client
+        n = len(times)
+        start = next(client._seq)
+        client._seq = itertools.count(start + n)
+        seqs = np.arange(start, start + n, dtype=np.int64)
+        client.sent += n
+        client._interval_sent += n
+        link = self._client_link
+        link.transmitted += n
+        self._sw_arr.push(times + link.latency, items=items, seqs=seqs,
+                          sent=times)
+
+    def _send_write(self, item: int) -> None:
+        """Scalar send of one pre-drawn write (mirrors ``_send_tick``)."""
+        client = self.client
+        if not client.running:
+            return
+        key = self._key_of_item[item]
+        client.put(key, client._next_value(key))
+        client._interval_sent += 1
+
+    def _next_query(self):
+        self._ensure_queries()
+        flag = bool(self._q_flags[self._q_pos])
+        item = int(self._q_items[self._q_pos])
+        self._q_pos += 1
+        return flag, item
+
+    def _scalar_send_tick(self) -> None:
+        """Per-packet send chain used during fault windows; identical float
+        recurrence and accounting to ``WorkloadClient._send_tick`` but
+        drawing from the engine's pre-drawn query buffer."""
+        self._pending_send = None
+        client = self.client
+        if not client.running:
+            return
+        is_write, item = self._next_query()
+        key = self._key_of_item[item]
+        if is_write:
+            client.put(key, client._next_value(key))
+        else:
+            client.get(key)
+        client._interval_sent += 1
+        delay = 1.0 / client.rate
+        self._next_send_time = self.events.now + delay
+        self._pending_send = self.events.schedule(
+            delay, self._scalar_send_tick)
+
+    # -- lane flushing -------------------------------------------------------------
+
+    def _flush_lanes(self, limit: float, inclusive: bool) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            progressed |= self._flush_switch_arrivals(limit, inclusive)
+            progressed |= self._flush_server_arrivals(limit, inclusive)
+            progressed |= self._flush_server_completions(limit, inclusive)
+            progressed |= self._flush_switch_replies(limit, inclusive)
+        # Client replies are merged once, after every producer has drained
+        # below the limit, so the latency list stays in delivery-time order.
+        self._flush_client_replies(limit, inclusive)
+
+    def _flush_switch_arrivals(self, limit: float, inclusive: bool) -> bool:
+        slices = self._sw_arr.take(limit, inclusive)
+        if not slices:
+            return False
+        sim = self.sim
+        trace = self._trace
+        key_of = self._key_of_item
+        clink = self._client_link
+        handler = self.switch.hot_key_handler
+        report_latency = self.switch.report_latency
+        for chunk, start, stop in slices:
+            t = chunk["t"][start:stop]
+            items = chunk["items"][start:stop]
+            seqs = chunk["seqs"][start:stop]
+            sent = chunk["sent"][start:stop]
+            n = stop - start
+            sim.delivered += n
+            if trace is not None:
+                trace.note_batch(t, self.client_id, self.tor_id,
+                                 int(Op.GET), seqs)
+            res = self.switch.process_read_batch([key_of[i] for i in items])
+            if handler is not None:
+                for pos, key in res.hot:
+                    self.events.schedule_abs(
+                        float(t[pos]) + report_latency, handler, key)
+            hit = res.hit_mask
+            nh = int(hit.sum())
+            if nh:
+                clink.transmitted += nh
+                self._cli_rep.push(t[hit] + clink.latency, seqs=seqs[hit],
+                                   sent=sent[hit], items=items[hit], hit=True)
+            if nh < n:
+                miss = ~hit
+                mt, mi = t[miss], items[miss]
+                ms, msent = seqs[miss], sent[miss]
+                owners = self._server_of_item[mi]
+                for sid in np.unique(owners):
+                    sel = owners == sid
+                    k = int(sel.sum())
+                    sid = int(sid)
+                    if sid in sim._down_nodes:
+                        # transmit() drops at the node before touching the
+                        # link: no link counter, no delivery.
+                        sim.lost += k
+                        sim.node_drops += k
+                        continue
+                    link = self._server_links[sid]
+                    link.transmitted += k
+                    self._srv_arr[sid].push(
+                        mt[sel] + link.latency, items=mi[sel],
+                        seqs=ms[sel], sent=msent[sel])
+        return True
+
+    def _server_completions(self, server, t: np.ndarray) -> np.ndarray:
+        """Completion-event times for arrivals *t*, replicating the exact
+        float expressions of ``StorageServer.handle_packet`` (note the
+        scheduled event time is ``now + (busy_until - now)``, which is not
+        the same float as ``busy_until``)."""
+        service = server.service_time
+        busy = server._busy_until
+        n = len(t)
+        if busy <= t[0] and (n == 1 or bool(np.all(t[:-1] + service <= t[1:]))):
+            new_busy = t + service
+            server._busy_until = float(new_busy[-1])
+            return t + (new_busy - t)
+        comp = np.empty(n)
+        for i in range(n):
+            now = float(t[i])
+            queue_wait = busy - now
+            if queue_wait < 0.0:
+                queue_wait = 0.0
+            start = now + queue_wait
+            busy = start + service
+            comp[i] = now + (busy - now)
+        server._busy_until = busy
+        return comp
+
+    def _flush_server_arrivals(self, limit: float, inclusive: bool) -> bool:
+        progressed = False
+        sim = self.sim
+        trace = self._trace
+        for sid, lane in self._srv_arr.items():
+            slices = lane.take(limit, inclusive)
+            if not slices:
+                continue
+            progressed = True
+            server = self._servers[sid]
+            down = sid in sim._down_nodes
+            for chunk, start, stop in slices:
+                t = chunk["t"][start:stop]
+                n = stop - start
+                if down:
+                    # _deliver() drops at a crashed destination.
+                    sim.lost += n
+                    sim.node_drops += n
+                    continue
+                seqs = chunk["seqs"][start:stop]
+                sim.delivered += n
+                if trace is not None:
+                    trace.note_batch(t, self.tor_id, sid, int(Op.GET), seqs)
+                server.received += n
+                comp = self._server_completions(server, t)
+                server._queued += n
+                self._srv_done[sid].push(
+                    comp, items=chunk["items"][start:stop], seqs=seqs,
+                    sent=chunk["sent"][start:stop])
+        return progressed
+
+    def _flush_server_completions(self, limit: float,
+                                  inclusive: bool) -> bool:
+        progressed = False
+        sim = self.sim
+        key_of = self._key_of_item
+        for sid, lane in self._srv_done.items():
+            slices = lane.take(limit, inclusive)
+            if not slices:
+                continue
+            progressed = True
+            server = self._servers[sid]
+            down = sid in sim._down_nodes
+            link = self._server_links[sid]
+            store_get = server.store.get
+            for chunk, start, stop in slices:
+                t = chunk["t"][start:stop]
+                items = chunk["items"][start:stop]
+                n = stop - start
+                server._queued -= n
+                server.processed += n
+                # The shim serves the value regardless of reachability;
+                # only the reply transmission can drop.
+                for i in items:
+                    store_get(key_of[i])
+                if down:
+                    # send_reply(): transmit from a crashed source drops.
+                    sim.lost += n
+                    sim.node_drops += n
+                    continue
+                link.transmitted += n
+                self._sw_rep[sid].push(
+                    t + link.latency, items=items,
+                    seqs=chunk["seqs"][start:stop],
+                    sent=chunk["sent"][start:stop])
+        return progressed
+
+    def _flush_switch_replies(self, limit: float, inclusive: bool) -> bool:
+        progressed = False
+        sim = self.sim
+        trace = self._trace
+        clink = self._client_link
+        for sid, lane in self._sw_rep.items():
+            slices = lane.take(limit, inclusive)
+            if not slices:
+                continue
+            progressed = True
+            for chunk, start, stop in slices:
+                t = chunk["t"][start:stop]
+                seqs = chunk["seqs"][start:stop]
+                n = stop - start
+                sim.delivered += n
+                if trace is not None:
+                    trace.note_batch(t, sid, self.tor_id,
+                                     int(Op.GET_REPLY), seqs)
+                self.switch.process_reply_batch(n)
+                clink.transmitted += n
+                self._cli_rep.push(
+                    t + clink.latency, seqs=seqs,
+                    sent=chunk["sent"][start:stop], hit=False,
+                    items=chunk["items"][start:stop])
+        return progressed
+
+    def _flush_client_replies(self, limit: float, inclusive: bool) -> bool:
+        slices = self._cli_rep.take(limit, inclusive, monotone=False)
+        if not slices:
+            return False
+        ts, seqs, sents, hits = [], [], [], []
+        for chunk, start, stop in slices:
+            ts.append(chunk["t"][start:stop])
+            seqs.append(chunk["seqs"][start:stop])
+            sents.append(chunk["sent"][start:stop])
+            hits.append(np.full(stop - start, chunk["hit"], dtype=bool))
+        t = np.concatenate(ts)
+        order = np.argsort(t, kind="stable")
+        t = t[order]
+        seq = np.concatenate(seqs)[order]
+        sent = np.concatenate(sents)[order]
+        hit = np.concatenate(hits)[order]
+        n = len(t)
+        sim = self.sim
+        client = self.client
+        sim.delivered += n
+        if self._trace is not None:
+            self._trace.note_batch(t, self.tor_id, self.client_id,
+                                   int(Op.GET_REPLY), seq)
+        client.received += n
+        client.cache_hits += int(hit.sum())
+        client._interval_received += n
+        latencies = (t - sent) + CLIENT_OVERHEAD
+        room = client.max_latency_samples - len(client.latencies)
+        if room > 0:
+            client.latencies.extend(latencies[:room].tolist())
+        return True
+
+    # -- fault-window fallback -------------------------------------------------------
+
+    def _enter_fast(self) -> None:
+        if self._pending_send is not None:
+            self._pending_send.cancel()
+            self._pending_send = None
+        self._mode = _FAST
+
+    def _enter_scalar(self) -> None:
+        """Materialize every pending lane entry into real events and hand
+        the window to the scalar loop."""
+        self._materialize()
+        self._mode = _SCALAR
+        self.scalar_fallbacks += 1
+        if self.client.running and self._pending_send is None:
+            self._pending_send = self.events.schedule_abs(
+                self._next_send_time, self._scalar_send_tick)
+
+    def _register_outstanding(self, chunk, start: int, stop: int) -> None:
+        outst = self.client._outstanding
+        key_of = self._key_of_item
+        items = chunk["items"][start:stop]
+        seqs = chunk["seqs"][start:stop]
+        sent = chunk["sent"][start:stop]
+        for i in range(stop - start):
+            outst[int(seqs[i])] = _Outstanding(
+                Op.GET, key_of[items[i]], float(sent[i]), None)
+
+    def _pending_slices(self, lane: _Lane):
+        for chunk in lane.chunks:
+            if chunk["pos"] < len(chunk["t"]):
+                yield chunk, chunk["pos"], len(chunk["t"])
+
+    def _materialize(self) -> None:
+        sim = self.sim
+        key_of = self._key_of_item
+        cid, tor = self.client_id, self.tor_id
+
+        def packets(chunk, start, stop):
+            self._register_outstanding(chunk, start, stop)
+            for i in range(start, stop):
+                item = int(chunk["items"][i])
+                pkt = make_get(cid, int(self._server_of_item[item]),
+                               key_of[item], seq=int(chunk["seqs"][i]))
+                pkt.created_at = float(chunk["sent"][i])
+                self.materialized += 1
+                yield float(chunk["t"][i]), item, pkt
+
+        for chunk, start, stop in self._pending_slices(self._sw_arr):
+            for t, _item, pkt in packets(chunk, start, stop):
+                sim.deliver_at(t, cid, tor, pkt)
+        for sid, lane in self._srv_arr.items():
+            for chunk, start, stop in self._pending_slices(lane):
+                for t, _item, pkt in packets(chunk, start, stop):
+                    sim.deliver_at(t, tor, sid, pkt)
+        for sid, lane in self._srv_done.items():
+            server = self._servers[sid]
+            for chunk, start, stop in self._pending_slices(lane):
+                for t, _item, pkt in packets(chunk, start, stop):
+                    # Arrival bookkeeping (received/_queued/_busy_until)
+                    # already happened; re-enter at the completion event.
+                    self.events.schedule_abs(t, server._complete, pkt)
+        for sid, lane in self._sw_rep.items():
+            for chunk, start, stop in self._pending_slices(lane):
+                self._register_outstanding(chunk, start, stop)
+                for i in range(start, stop):
+                    item = int(chunk["items"][i])
+                    reply = make_get(cid, sid, key_of[item],
+                                     seq=int(chunk["seqs"][i])).make_reply(
+                                         Op.GET_REPLY)
+                    self.materialized += 1
+                    sim.deliver_at(float(chunk["t"][i]), sid, tor, reply)
+        for chunk, start, stop in self._pending_slices(self._cli_rep):
+            self._register_outstanding(chunk, start, stop)
+            hit = chunk["hit"]
+            for i in range(start, stop):
+                item = int(chunk["items"][i])
+                reply = Packet(src=int(self._server_of_item[item]), dst=cid,
+                               op=Op.GET_REPLY, seq=int(chunk["seqs"][i]),
+                               key=key_of[item])
+                reply.served_by_cache = hit
+                self.materialized += 1
+                sim.deliver_at(float(chunk["t"][i]), tor, cid, reply)
+
+        self._sw_arr.clear()
+        self._cli_rep.clear()
+        for group in (self._srv_arr, self._srv_done, self._sw_rep):
+            for lane in group.values():
+                lane.clear()

@@ -128,6 +128,24 @@ class Link:
         self.reorder_window = (window if window is not None
                                else 8 * self.latency)
 
+    def is_clean(self, now: float) -> bool:
+        """True when every transmission at *now* is a deterministic single
+        delivery after exactly ``latency`` seconds, consuming no RNG.
+
+        The batched fast path may only carry traffic over clean links: any
+        loss, duplication, reordering, serialization, or partition means
+        per-packet RNG draws (or per-packet queueing state) whose order the
+        scalar reference defines, so such windows fall back to the event
+        loop.  Faults only change through scheduled events, so cleanliness
+        can be checked once per flush window.
+        """
+        return (self.up
+                and self.loss_prob == 0.0
+                and (self._burst_prob == 0.0 or now >= self._burst_until)
+                and self.dup_prob == 0.0
+                and self.reorder_prob == 0.0
+                and self.rate_pps is None)
+
     def effective_loss(self, now: float) -> float:
         """Loss probability in force at time *now* (base + active burst)."""
         burst = self._burst_prob if now < self._burst_until else 0.0

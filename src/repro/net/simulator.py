@@ -169,6 +169,22 @@ class Simulator:
             self.events.schedule(delay, self._deliver, src_id, dst_id, pkt)
         return True
 
+    def deliver_at(self, when: float, src_id: int, dst_id: int,
+                   pkt: Packet) -> Event:
+        """Schedule a delivery of *pkt* at absolute time *when*.
+
+        Used by the batched fast path to materialize in-flight lane entries
+        back into ordinary delivery events when a fault window opens; the
+        transmission-side accounting (link counters, loss) has already
+        happened, so this enters the pipeline at the delivery stage.
+        """
+        return self.events.schedule_abs(when, self._deliver, src_id, dst_id,
+                                        pkt)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the next pending event, or None (see EventQueue.peek_time)."""
+        return self.events.peek_time()
+
     def _deliver(self, src_id: int, dst_id: int, pkt: Packet) -> None:
         node = self.nodes.get(dst_id)
         if node is None:

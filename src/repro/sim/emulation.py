@@ -34,7 +34,7 @@ from repro.kvstore.partition import HashPartitioner
 from repro.kvstore.server import StorageServer
 from repro.net.simulator import Simulator
 from repro.net.topology import make_rack_plan
-from repro.sim.ratesim import RateSimConfig, mask_from_keys, simulate
+from repro.sim.ratesim import CacheContentsMask, RateSimConfig, simulate
 
 
 @dataclasses.dataclass
@@ -149,8 +149,7 @@ class DynamicsEmulator:
         self._rng = np.random.default_rng(config.seed + 7)
         # Caches invalidated by churn / cache-content changes.
         self._read_probs: Optional[np.ndarray] = None
-        self._mask: Optional[np.ndarray] = None
-        self._mask_version = -1
+        self._mask = CacheContentsMask(self.switch, self.workload.keyspace)
 
     def _load_stores(self) -> None:
         keyspace = self.workload.keyspace
@@ -178,16 +177,12 @@ class DynamicsEmulator:
             report(hot)
 
     def _saturated_throughput(self) -> float:
-        dataplane = self.switch.dataplane
-        if self._mask is None or self._mask_version != dataplane.contents_version:
-            self._mask = mask_from_keys(self.switch.cached_keys(),
-                                        self.workload.keyspace)
-            self._mask_version = dataplane.contents_version
         if self._read_probs is None:
             self._read_probs = self.workload.read_item_probs()
         # Invalid entries (just-written keys) don't serve; with a read-only
         # dynamics workload every cached key is valid.
-        result = simulate(self._read_probs, self._mask, self.rate_config)
+        result = simulate(self._read_probs, self._mask.mask(),
+                          self.rate_config)
         return result.throughput
 
     # -- main loop ------------------------------------------------------------------

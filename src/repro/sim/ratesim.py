@@ -69,6 +69,56 @@ def fast_partition_vector(num_keys: int, num_servers: int,
     return (x % np.uint64(num_servers)).astype(np.int64)
 
 
+@functools.lru_cache(maxsize=32)
+def partition_vector_for_servers(num_keys: int, server_ids: tuple,
+                                 seed: int = 0x5EED) -> np.ndarray:
+    """item id -> partition index for a *concrete* server-id list.
+
+    The partition *index* depends only on the key hash, so this produces the
+    same vector as :func:`partition_vector` for equal-length id lists — but
+    the steady-state handoff keys its cache on the cluster's actual id tuple
+    so position ``i`` of ``per_server_load`` is unambiguously
+    ``server_ids[i]``, matching ``HashPartitioner.server_for`` exactly
+    (unlike :func:`fast_partition_vector`, which is only statistically
+    equivalent).
+    """
+    keyspace = KeySpace(num_keys)
+    partitioner = HashPartitioner(list(server_ids), seed=seed)
+    return np.fromiter(
+        (partitioner.partition_of(keyspace.key(i)) for i in range(num_keys)),
+        dtype=np.int64, count=num_keys,
+    )
+
+
+class CacheContentsMask:
+    """Contents-version-keyed cache of the cached-items mask.
+
+    Rebuilding the per-item boolean mask from the switch's key list is the
+    expensive part of re-running the equilibrium model every step; the
+    dataplane bumps ``contents_version`` on every install/evict, so the mask
+    is reused until the cache actually changes.  Shared by the hybrid
+    emulation and the simcore fast-forward.
+    """
+
+    def __init__(self, switch, keyspace: KeySpace):
+        self._switch = switch
+        self._keyspace = keyspace
+        self._mask: Optional[np.ndarray] = None
+        self._version = -1
+
+    @property
+    def version(self) -> int:
+        return self._switch.dataplane.contents_version
+
+    def mask(self) -> np.ndarray:
+        dataplane = self._switch.dataplane
+        if self._mask is None or self._version != dataplane.contents_version:
+            self._mask = mask_from_keys(self._switch.cached_keys(),
+                                        self._keyspace)
+            self._version = dataplane.contents_version
+        return self._mask
+
+
 @dataclasses.dataclass(frozen=True)
 class RateSimConfig:
     """Inputs to one equilibrium computation."""
@@ -128,7 +178,8 @@ class RateSimResult:
 def simulate(read_probs: np.ndarray,
              cached_mask: Optional[np.ndarray],
              config: RateSimConfig,
-             write_probs: Optional[np.ndarray] = None) -> RateSimResult:
+             write_probs: Optional[np.ndarray] = None,
+             part_vector: Optional[np.ndarray] = None) -> RateSimResult:
     """Compute the saturated throughput for one workload + cache contents.
 
     Parameters
@@ -142,6 +193,10 @@ def simulate(read_probs: np.ndarray,
         Cluster capacities and the write model.
     write_probs:
         Per-item write distribution (required if ``write_ratio > 0``).
+    part_vector:
+        Explicit item -> partition-index vector (overrides the internal
+        partitioners; use :func:`partition_vector_for_servers` to match a
+        concrete DES cluster).
     """
     n_items = len(read_probs)
     w = config.write_ratio
@@ -150,7 +205,11 @@ def simulate(read_probs: np.ndarray,
     if cached_mask is None:
         cached_mask = np.zeros(n_items, dtype=bool)
 
-    if config.exact_partition:
+    if part_vector is not None:
+        part = np.asarray(part_vector, dtype=np.int64)
+        if len(part) != n_items:
+            raise ConfigurationError("part_vector length != len(read_probs)")
+    elif config.exact_partition:
         part = partition_vector(n_items, config.num_servers,
                                 config.partition_seed)
     else:

@@ -14,14 +14,18 @@ byte-identically (tested in ``tests/test_perf_cli.py``).  Wall-clock
 readings — elapsed time, events/second, per-component time shares — live
 under the ``wall`` key, which comparisons and determinism checks ignore.
 
-Scenarios come in two kinds.  ``kind="cluster"`` runs the discrete-event
+Scenarios come in three kinds.  ``kind="cluster"`` runs the discrete-event
 rack.  ``kind="microbench"`` (the ``hotpath`` scenario) drives the data
 plane's statistics hot path directly — batched ``observe_reads`` over a
 Zipf key stream — and races it against the retained scalar reference
 implementation (:mod:`repro.sketch.reference`) on the same stream,
-requiring bit-identical reports.  Its deterministic counters are gated
-with exact equality; the measured speedup lands in the ``wall`` section
-(see docs/PERFORMANCE.md).
+requiring bit-identical reports.  ``kind="simcore"`` (the ``simcore``
+scenario) runs one whole rack scenario under *both* simulator paths — the
+batched lanes engine (:mod:`repro.net.fastpath`) and the scalar event
+loop — and requires every gated counter, per-key register, and the
+delivery-trace digest to match byte-for-byte.  Deterministic counters of
+both kinds are gated with exact equality; measured speedups land in the
+``wall`` section (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -104,6 +108,12 @@ SCENARIOS: Dict[str, PerfScenario] = {
             kind="microbench", num_keys=20_000, cache_items=1_000,
             lookup_entries=4_096, value_slots=4_096,
             packets=120_000, batch_size=4_000, reset_every=32_000),
+        PerfScenario(
+            "simcore", "10M-packet zipf99 rack under the batched lanes "
+            "engine, raced against the scalar event loop (byte-identical "
+            "counters required)",
+            kind="simcore", rate=1_000_000.0, duration=10.0,
+            stats_interval=1.0),
     )
 }
 
@@ -121,6 +131,8 @@ def run_scenario(name: str, seed: int = 0,
         scenario = dataclasses.replace(scenario, duration=duration)
     if scenario.kind == "microbench":
         return _run_microbench(scenario, seed, metrics_out)
+    if scenario.kind == "simcore":
+        return _run_simcore(scenario, seed, metrics_out)
 
     workload = Workload(WorkloadSpec(
         num_keys=scenario.num_keys, read_skew=scenario.skew,
@@ -365,6 +377,84 @@ def _run_microbench(scenario: PerfScenario, seed: int,
     }
 
 
+# -- the dual-path simulator-core benchmark ----------------------------------------
+
+
+def _run_simcore(scenario: PerfScenario, seed: int,
+                 metrics_out: Optional[str]) -> Dict:
+    """Race the batched lanes engine against the scalar event loop.
+
+    Both paths run the same :class:`~repro.sim.simcore.SimCoreConfig`
+    scenario from identical seeds; the scalar loop is the executable
+    specification, and :func:`~repro.sim.simcore.diff_snapshots` must come
+    back empty — every counter, per-key register, per-server/per-link
+    total, latency sample, and the delivery-trace digest byte-identical.
+    The measured speedup lands in ``wall``; the equivalence verdict is a
+    gated result.
+    """
+    from repro.sim.simcore import (
+        SimCoreConfig, diff_snapshots, run_batched, run_scalar)
+
+    if metrics_out:
+        raise ConfigurationError(
+            "--metrics-out applies only to cluster scenarios")
+    config = SimCoreConfig(
+        num_servers=scenario.num_servers, num_keys=scenario.num_keys,
+        cache_items=scenario.cache_items,
+        lookup_entries=scenario.lookup_entries, skew=scenario.skew,
+        write_ratio=scenario.write_ratio, rate=scenario.rate,
+        duration=scenario.duration, hot_threshold=scenario.hot_threshold,
+        stats_interval=scenario.stats_interval, seed=seed)
+
+    wall_start = time.perf_counter()
+    batched = run_batched(config)
+    elapsed = time.perf_counter() - wall_start
+    ref_start = time.perf_counter()
+    scalar = run_scalar(config)
+    ref_elapsed = time.perf_counter() - ref_start
+    diffs = diff_snapshots(scalar, batched)
+
+    total = config.packets
+    speedup = ref_elapsed / elapsed if elapsed > 0 else 0.0
+    pps = total / elapsed if elapsed > 0 else 0.0
+    ref_pps = total / ref_elapsed if ref_elapsed > 0 else 0.0
+    received = scalar["client.received"]
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "scenario": scenario.name,
+        "seed": seed,
+        "config": dataclasses.asdict(scenario),
+        "results": {
+            "packets": total,
+            "queries_sent": scalar["client.sent"],
+            "queries_received": received,
+            "cache_hits": scalar["client.cache_hits"],
+            "cache_hit_ratio": (scalar["client.cache_hits"] / received
+                                if received else 0.0),
+            "deliveries": scalar["sim.delivered"],
+            "lost": scalar["sim.lost"],
+            "trace_digest": scalar["trace.digest"],
+            "divergences": len(diffs),
+            "divergent_fields": diffs[:20],
+            "paths_match": not diffs,
+        },
+        "wall": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "elapsed_seconds": elapsed,
+            "packets_per_second": pps,
+            "reference_elapsed_seconds": ref_elapsed,
+            "reference_packets_per_second": ref_pps,
+            "speedup_vs_scalar": speedup,
+            "python": platform.python_version(),
+            "notes": (f"batched lanes engine ran {speedup:.1f}x the scalar "
+                      f"event loop on this host ({pps:,.0f} vs "
+                      f"{ref_pps:,.0f} packets/s over {total:,} packets), "
+                      f"byte-identical counters "
+                      f"{'confirmed' if not diffs else 'VIOLATED'}"),
+        },
+    }
+
+
 def snapshot_to_json(snapshot: Dict) -> str:
     return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
 
@@ -379,6 +469,8 @@ def render_snapshot(snapshot: Dict) -> str:
     config = snapshot.get("config", {})
     if isinstance(config, dict) and config.get("kind") == "microbench":
         return _render_microbench(snapshot)
+    if isinstance(config, dict) and config.get("kind") == "simcore":
+        return _render_simcore(snapshot)
     r = snapshot["results"]
     lines = [
         f"scenario {snapshot['scenario']} seed={snapshot['seed']} "
@@ -430,6 +522,29 @@ def _render_microbench(snapshot: Dict) -> str:
     ])
 
 
+def _render_simcore(snapshot: Dict) -> str:
+    r = snapshot["results"]
+    w = snapshot.get("wall", {})
+    lines = [
+        f"scenario {snapshot['scenario']} seed={snapshot['seed']} "
+        f"packets={r['packets']:,}",
+        f"batched      : {w.get('packets_per_second', 0.0):,.0f} packets/s "
+        f"(lanes engine)",
+        f"scalar       : {w.get('reference_packets_per_second', 0.0):,.0f} "
+        f"packets/s (per-packet event loop)",
+        f"speedup      : {w.get('speedup_vs_scalar', 0.0):.1f}x",
+        f"cache        : {r['cache_hit_ratio']:.1%} client hit ratio "
+        f"({r['cache_hits']} hits / {r['queries_received']} answered)",
+        f"trace        : {r['trace_digest']}",
+        f"equivalence  : "
+        f"{'byte-identical' if r['paths_match'] else 'DIVERGED'}"
+        f" ({r['divergences']} fields differ)",
+    ]
+    if r.get("divergent_fields"):
+        lines.extend(f"  {d}" for d in r["divergent_fields"])
+    return "\n".join(lines)
+
+
 # -- regression gate --------------------------------------------------------------
 
 #: (path into the snapshot, direction) pairs guarded by --compare.
@@ -456,6 +571,20 @@ MICROBENCH_GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
 )
 
 
+#: the simcore snapshot gates the dual-path equivalence itself: any drift
+#: in the replay counters or a single divergent field fails the compare.
+SIMCORE_GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("results", "packets"), "equal"),
+    (("results", "queries_sent"), "equal"),
+    (("results", "queries_received"), "equal"),
+    (("results", "cache_hits"), "equal"),
+    (("results", "deliveries"), "equal"),
+    (("results", "lost"), "equal"),
+    (("results", "divergences"), "equal"),
+    (("results", "paths_match"), "equal"),
+)
+
+
 def _guarded_metrics(snapshot: Dict) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
     """The metric set a snapshot is gated on, by its scenario kind.
 
@@ -464,7 +593,11 @@ def _guarded_metrics(snapshot: Dict) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
     """
     config = snapshot.get("config")
     kind = config.get("kind", "cluster") if isinstance(config, dict) else "cluster"
-    return MICROBENCH_GUARDED_METRICS if kind == "microbench" else GUARDED_METRICS
+    if kind == "microbench":
+        return MICROBENCH_GUARDED_METRICS
+    if kind == "simcore":
+        return SIMCORE_GUARDED_METRICS
+    return GUARDED_METRICS
 
 
 def _get_path(snapshot: Dict, path: Tuple[str, ...]):

@@ -63,6 +63,57 @@ class TestScheduling:
         assert seen == [2.0]
 
 
+class TestScheduleAbs:
+    def test_lands_at_bit_exact_time(self):
+        # A pair where now + (when - now) rounds one ulp away from when;
+        # schedule_abs must not take that detour (schedule_at does, and
+        # keeps doing so to preserve existing replay baselines).
+        now = 9.173988086863538e-06
+        when = 1.8628264379002524
+        assert now + (when - now) != when  # the pair stays adversarial
+        q = EventQueue()
+        q.schedule(now, lambda: None)
+        q.run()
+        seen = []
+        q.schedule_at(when, lambda: seen.append(q.now))
+        q.schedule_abs(when, lambda: seen.append(q.now))
+        q.run()
+        assert when in seen                # schedule_abs landed exactly
+        assert seen[0] != seen[1]          # schedule_at rounded away
+
+    def test_past_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule_abs(0.5, lambda: None)
+
+    def test_now_is_allowed(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_abs(0.0, seen.append, "x")
+        q.run()
+        assert seen == ["x"]
+
+
+class TestPeek:
+    def test_peek_returns_next_live_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.schedule(2.0, lambda: None)
+        ev = q.schedule(1.0, lambda: None)
+        assert q.peek_time() == 1.0
+        ev.cancel()
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+
+    def test_peek_does_not_advance_clock(self):
+        q = EventQueue()
+        q.schedule(3.0, lambda: None)
+        q.peek_time()
+        assert q.now == 0.0
+
+
 class TestCancellation:
     def test_cancelled_event_skipped(self):
         q = EventQueue()

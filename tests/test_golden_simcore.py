@@ -1,0 +1,42 @@
+"""Golden replay pin for the simulator core (scalar AND batched paths).
+
+A seeded 100k-packet zipf-0.99 run has exactly one correct delivery trace;
+its multiset digest (and the headline counters) are committed here as
+literals.  If an assertion fails, the simulator's packet-level behaviour
+moved: every committed BENCH baseline and differential expectation is
+invalid and must be regenerated deliberately, not silently.
+
+The scalar and batched pins are separate tests on purpose — if only one of
+them fails, the dual-path equivalence gate itself is what broke.
+"""
+
+import pytest
+
+from repro.sim.simcore import SimCoreConfig, run_batched, run_scalar
+
+#: the default scenario: 8 servers, 5k keys, warm 64-item cache,
+#: zipf-0.99 reads at 1 MQPS for 100 ms => 100_000 packets.
+GOLDEN_CONFIG = SimCoreConfig()
+
+GOLDEN_TRACE_DIGEST = "55ced58e824fbe8e:298307"
+GOLDEN_SENT = 100_000
+GOLDEN_RECEIVED = 99_994
+GOLDEN_CACHE_HITS = 50_838
+GOLDEN_DELIVERED = 298_307
+
+
+def check(snap):
+    assert snap["trace.digest"] == GOLDEN_TRACE_DIGEST
+    assert snap["client.sent"] == GOLDEN_SENT
+    assert snap["client.received"] == GOLDEN_RECEIVED
+    assert snap["client.cache_hits"] == GOLDEN_CACHE_HITS
+    assert snap["sim.delivered"] == GOLDEN_DELIVERED
+
+
+@pytest.mark.slow
+def test_scalar_path_matches_pin():
+    check(run_scalar(GOLDEN_CONFIG))
+
+
+def test_batched_path_matches_pin():
+    check(run_batched(GOLDEN_CONFIG))

@@ -1,0 +1,186 @@
+"""Scalar vs batched equivalence, engine eligibility, and fast-forward.
+
+The differential tests here are the hand-picked scenarios; random ones live
+in ``tests/test_prop_simcore.py`` and the committed 100k-packet pin in
+``tests/test_golden_simcore.py``.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.fastpath import FastPathEngine
+from repro.net.trace import DeliveryTrace
+from repro.reliability.retry import RetryPolicy
+from repro.sim.cluster import Cluster, ClusterConfig, default_workload
+from repro.sim.simcore import (
+    SimCoreConfig,
+    SimCoreRunner,
+    build_rack,
+    counters_snapshot,
+    diff_snapshots,
+    rack_equilibrium,
+    run_batched,
+    run_scalar,
+)
+
+
+def tiny(**overrides):
+    defaults = dict(num_servers=4, num_keys=500, cache_items=16,
+                    lookup_entries=256, rate=2e5, duration=0.05, seed=3)
+    defaults.update(overrides)
+    return SimCoreConfig(**defaults)
+
+
+def run_with_script(config, script, batched):
+    """Like run_scalar/run_batched but with a fault script applied to the
+    freshly built rack before the run (identically under both paths)."""
+    cluster, client, workload = build_rack(config)
+    trace = DeliveryTrace()
+    if not batched:
+        trace.attach(cluster.sim)
+    script(cluster, client)
+    if batched:
+        runner = SimCoreRunner(cluster, client, workload, trace=trace)
+        runner.run(config.duration)
+        return counters_snapshot(cluster, client, trace,
+                                 engine=runner.engine)
+    cluster.sim.run_until(cluster.sim.now + config.duration)
+    return counters_snapshot(cluster, client, trace)
+
+
+class TestDifferential:
+    def test_read_only_byte_identical(self):
+        cfg = tiny()
+        assert diff_snapshots(run_scalar(cfg), run_batched(cfg)) == []
+
+    def test_writes_byte_identical(self):
+        cfg = tiny(write_ratio=0.1, seed=5)
+        assert diff_snapshots(run_scalar(cfg), run_batched(cfg)) == []
+
+    def test_faults_byte_identical(self):
+        # Crash + restart, a loss burst, and a duplication window: the
+        # engine must fall back to the scalar loop for the dirty stretch
+        # and replay the link RNG decisions exactly.
+        cfg = tiny(duration=0.06, seed=7)
+        sid = {}
+
+        def script(cluster, client):
+            sid["victim"] = cluster.plan.server_ids[0]
+            ev = cluster.sim.events
+            cl_link = cluster.link_to(client.node_id)
+            srv_link = cluster.link_to(cluster.plan.server_ids[1])
+            ev.schedule_at(0.010, cluster.crash_server, sid["victim"])
+            ev.schedule_at(0.015, cl_link.start_loss_burst, 0.5, 0.033)
+            ev.schedule_at(0.020, srv_link.set_duplication, 0.3)
+            ev.schedule_at(0.030, cluster.restart_server, sid["victim"])
+            ev.schedule_at(0.035, srv_link.set_duplication, 0.0)
+
+        a = run_with_script(cfg, script, batched=False)
+        b = run_with_script(cfg, script, batched=True)
+        assert diff_snapshots(a, b) == []
+        # The scenario actually exercised the fault paths.
+        assert a["sim.lost"] > 0
+        assert any(a[k] > 0 for k in a if k.endswith(".duplicated"))
+
+    def test_unwarmed_cache_byte_identical(self):
+        # Cold cache: the controller inserts during the run, so hot-key
+        # reports and install/evict traffic flow under both paths.
+        cfg = tiny(warm=False, hot_threshold=4, duration=0.04)
+        a, b = run_scalar(cfg), run_batched(cfg)
+        assert diff_snapshots(a, b) == []
+        assert a["controller.insertions"] > 0
+
+
+class TestEligibility:
+    def _rack(self, **cluster_over):
+        over = dict(num_servers=4, cache_items=16, lookup_entries=256,
+                    value_slots=256, seed=1)
+        over.update(cluster_over)
+        cluster = Cluster(ClusterConfig(**over))
+        workload = default_workload(num_keys=300, seed=1)
+        cluster.load_workload_data(workload)
+        return cluster, workload
+
+    def test_retry_policy_rejected(self):
+        cluster, workload = self._rack()
+        client = cluster.add_workload_client(workload, rate=1e5,
+                                             retry_policy=RetryPolicy())
+        with pytest.raises(ConfigurationError):
+            FastPathEngine(cluster, client)
+
+    def test_rate_controller_rejected(self):
+        cluster, workload = self._rack()
+        client = cluster.add_workload_client(workload, rate=1e5, aimd=True)
+        with pytest.raises(ConfigurationError):
+            FastPathEngine(cluster, client)
+
+    def test_server_queue_limit_rejected(self):
+        cluster, workload = self._rack(server_queue_limit=64)
+        client = cluster.add_workload_client(workload, rate=1e5)
+        with pytest.raises(ConfigurationError):
+            FastPathEngine(cluster, client)
+
+    def test_plain_switch_rejected(self):
+        cluster, workload = self._rack(enable_cache=False)
+        client = cluster.add_workload_client(workload, rate=1e5)
+        with pytest.raises(ConfigurationError):
+            FastPathEngine(cluster, client)
+
+    def test_second_workload_client_rejected(self):
+        cluster, workload = self._rack()
+        client = cluster.add_workload_client(workload, rate=1e5)
+        cluster.add_workload_client(workload, rate=1e5)
+        with pytest.raises(ConfigurationError):
+            FastPathEngine(cluster, client)
+
+
+def hit_ratio(snap):
+    return snap["client.cache_hits"] / snap["client.received"]
+
+
+class TestFastForward:
+    def settled(self, **overrides):
+        """A quiescent scenario: warm cache, reporting effectively off."""
+        defaults = dict(num_servers=4, num_keys=1_000, cache_items=32,
+                        lookup_entries=256, rate=1e5, duration=0.6,
+                        stats_interval=0.1, hot_threshold=1_000_000, seed=11)
+        defaults.update(overrides)
+        return SimCoreConfig(**defaults)
+
+    @pytest.mark.parametrize("overrides", [
+        dict(),                              # zipf-0.99, 32-item cache
+        dict(skew=0.9, cache_items=16, lookup_entries=128, seed=12),
+    ])
+    def test_matches_event_mode_and_equilibrium(self, overrides):
+        cfg = self.settled(**overrides)
+        event = run_batched(cfg, fast_forward=False)
+        ff = run_batched(cfg, fast_forward=True)
+        assert ff["ff_epochs"] > 0
+        assert hit_ratio(ff) == pytest.approx(hit_ratio(event), abs=0.02)
+        # Below saturation the client delivers everything under both modes.
+        assert ff["client.received"] == pytest.approx(
+            event["client.received"], rel=0.01)
+        cluster, client, workload = build_rack(cfg)
+        eq = rack_equilibrium(cluster, workload)
+        assert hit_ratio(ff) == pytest.approx(eq.hit_ratio, abs=0.02)
+
+    def test_disabled_while_fault_window_open(self):
+        cfg = self.settled(rate=2e4, duration=0.5)
+
+        def run(script):
+            cluster, client, workload = build_rack(cfg)
+            script(cluster, client)
+            runner = SimCoreRunner(cluster, client, workload,
+                                   trace=DeliveryTrace(), fast_forward=True)
+            runner.run(cfg.duration)
+            return runner
+
+        burst = run(lambda cluster, client: cluster.link_to(
+            client.node_id).start_loss_burst(0.3, until=1e9))
+        assert burst.ff_epochs == 0
+        clean = run(lambda cluster, client: None)
+        assert clean.ff_epochs > 0
+
+    def test_disabled_for_write_workloads(self):
+        cfg = self.settled(write_ratio=0.05)
+        assert run_batched(cfg, fast_forward=True)["ff_epochs"] == 0
