@@ -125,6 +125,19 @@ class Workload:
         items = self.popularity.items_array()[ranks]
         return flags, items
 
+    def fork(self, salt: int) -> "Workload":
+        """An independent query stream over the *same* popularity map.
+
+        Used to attach additional open-loop clients: the fork shares the
+        keyspace and :class:`PopularityMap` (so every client, and the rate
+        simulator, agrees on which items are hot) but draws its op flags
+        and ranks from generators reseeded with *salt* — concurrent
+        clients consume disjoint RNG streams exactly as if each had been
+        built from its own spec.
+        """
+        spec = dataclasses.replace(self.spec, seed=self.spec.seed + salt)
+        return Workload(spec, popularity=self.popularity)
+
     def value_for(self, key: bytes) -> bytes:
         """Deterministic value for *key* (store preloading + verification)."""
         item = self.keyspace.item(key)

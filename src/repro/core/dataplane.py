@@ -322,6 +322,19 @@ class NetCacheDataplane:
             hot = [(miss_pos[p], key) for p, key in reported]
         return ReadBatchResult(hit_mask, hot)
 
+    def process_write_batch(self, pkts: Sequence[Packet]) \
+            -> List[PipelineResult]:
+        """Run a batch of write packets through the write pipeline.
+
+        Writes are inherently scalar at the register level — each one may
+        flip a cache-status bit and rewrite its own op field — so this is
+        a stream-order loop over :meth:`_process_write`, offered for
+        layering symmetry with :meth:`process_read_batch` (the batched
+        fast path drives single writes through the switch wrapper; tools
+        that replay recorded write streams use this entry point).
+        """
+        return [self._process_write(pkt) for pkt in pkts]
+
     # -- control-plane API (used by the controller) ---------------------------------
 
     def cached_keys(self) -> List[bytes]:

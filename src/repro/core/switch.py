@@ -121,6 +121,22 @@ class NetCacheSwitch(PlainSwitch):
         self.forwarded += n
         return result
 
+    def process_write_packet(self, pkt: Packet):
+        """One write arrival from the batched fast path.
+
+        Runs the *real* write pipeline — lookup, cache-hit invalidation,
+        ``PUT`` → ``PUT_CACHED`` rewrite — via :meth:`NetCacheDataplane.
+        process`, with the same counter increments as :meth:`handle_packet`
+        (writes never produce a hot-key report or generated packets, and
+        always forward).  Transmission stays with the caller; ``pkt.op``
+        carries any rewrite back.
+        """
+        self.processed += 1
+        result = self.dataplane.process(pkt, self._ingress_port(pkt))
+        if result.action is Action.FORWARD:
+            self.forwarded += 1
+        return result
+
     def process_reply_batch(self, count: int) -> None:
         """Batch of Get replies transiting server -> client: each is one
         ``processed`` plus one routed ``forwarded``, no dataplane state."""

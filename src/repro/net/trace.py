@@ -78,6 +78,13 @@ class DeliveryTrace:
         self._dsts: List[int] = []
         self._ops: List[int] = []
         self._seqs: List[int] = []
+        # note_batch staging: column arrays plus one (src, dst, op, n)
+        # broadcast row per call, concatenated and mixed in bulk so the
+        # per-call cost is two list appends, not a numpy kernel launch.
+        self._bt: List[np.ndarray] = []
+        self._bq: List[np.ndarray] = []
+        self._bmeta: List[tuple] = []
+        self._bpending = 0
 
     # -- feeding -----------------------------------------------------------------
 
@@ -101,12 +108,43 @@ class DeliveryTrace:
 
     def note_batch(self, times: np.ndarray, src: int, dst: int, op: int,
                    seqs: np.ndarray) -> None:
-        """Record a batch of deliveries sharing one hop and op."""
-        self._mix_in(np.ascontiguousarray(times, dtype=np.float64),
-                     np.uint64(src), np.uint64(dst), np.uint64(op),
-                     np.asarray(seqs).astype(np.uint64))
+        """Record a batch of deliveries sharing one hop and op.
+
+        Batches are staged and mixed in bulk (the digest is a multiset
+        sum, so grouping across calls cannot change it); tiny batches —
+        single writes, short op runs — cost two appends instead of five
+        elementwise hash kernels.
+        """
+        n = len(times)
+        if not n:
+            return
+        self._bt.append(np.ascontiguousarray(times, dtype=np.float64))
+        self._bq.append(np.asarray(seqs).astype(np.uint64))
+        self._bmeta.append((src, dst, op, n))
+        self._bpending += n
+        if self._bpending >= self._BUFFER:
+            self._flush_batches()
+
+    def _flush_batches(self) -> None:
+        if not self._bpending:
+            return
+        counts = [m[3] for m in self._bmeta]
+        self._mix_in(
+            np.concatenate(self._bt),
+            np.repeat(np.array([m[0] for m in self._bmeta],
+                               dtype=np.uint64), counts),
+            np.repeat(np.array([m[1] for m in self._bmeta],
+                               dtype=np.uint64), counts),
+            np.repeat(np.array([m[2] for m in self._bmeta],
+                               dtype=np.uint64), counts),
+            np.concatenate(self._bq))
+        self._bt.clear()
+        self._bq.clear()
+        self._bmeta.clear()
+        self._bpending = 0
 
     def _flush(self) -> None:
+        self._flush_batches()
         if not self._times:
             return
         self._mix_in(np.array(self._times, dtype=np.float64),

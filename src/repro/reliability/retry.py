@@ -74,3 +74,13 @@ class RetryPolicy:
         if self.jitter == 0.0:
             return base
         return base * (1.0 + rng.uniform(-self.jitter, self.jitter))
+
+    def min_delay(self) -> float:
+        """Lower bound on any attempt-0 delay this policy can draw.
+
+        The batched fast path uses it as a safety margin: no request can
+        time out sooner than ``min_delay()`` after it was sent, so lanes
+        may run that far ahead before the exact per-request deadline
+        (which needs the per-seq RNG) has to be evaluated.
+        """
+        return self.timeout * (1.0 - self.jitter)

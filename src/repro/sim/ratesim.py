@@ -319,3 +319,20 @@ def mask_from_keys(keys: Sequence[bytes], keyspace: KeySpace) -> np.ndarray:
     for key in keys:
         mask[keyspace.item(key)] = True
     return mask
+
+
+def cached_write_fraction(write_probs: np.ndarray,
+                          cached_mask: np.ndarray) -> float:
+    """Fraction of writes that land on a cached key.
+
+    Each such write triggers the coherence round trip — invalidation at
+    the switch, value update from the owner, ack back — so this fraction
+    scales the extra hop/processing accounting when the fast-forward
+    synthesizes a mixed-workload epoch (§4.3 write path).
+    """
+    if write_probs is None or not cached_mask.any():
+        return 0.0
+    total = float(write_probs.sum())
+    if total <= 0.0:
+        return 0.0
+    return float(write_probs[cached_mask].sum()) / total

@@ -22,18 +22,21 @@ This module is the user-facing surface of the batched fast path
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.client.workload import Workload, WorkloadSpec
+from repro.errors import ConfigurationError
 from repro.net.fastpath import FastPathEngine
 from repro.net.trace import DeliveryTrace
+from repro.reliability.retry import RetryPolicy
 from repro.sim.cluster import Cluster, ClusterConfig
 from repro.sim.ratesim import (
     CacheContentsMask,
     RateSimConfig,
     RateSimResult,
+    cached_write_fraction,
     partition_vector_for_servers,
     simulate,
 )
@@ -59,10 +62,29 @@ class SimCoreConfig:
     #: statistics epoch; also the fast-forward granularity.
     stats_interval: float = 1.0
     seed: int = 0
+    #: concurrent open-loop clients; each beyond the first draws from a
+    #: forked (reseeded) query stream over the same popularity map.
+    num_clients: int = 1
+    #: per-client rates overriding ``rate`` (length must be num_clients).
+    client_rates: Optional[Tuple[float, ...]] = None
+    #: give every client the default retry policy (seeded from ``seed``).
+    retries: bool = False
+
+    def __post_init__(self):
+        if self.num_clients < 1:
+            raise ConfigurationError("need at least one client")
+        if (self.client_rates is not None
+                and len(self.client_rates) != self.num_clients):
+            raise ConfigurationError(
+                "client_rates must have one rate per client")
+
+    @property
+    def rates(self) -> Tuple[float, ...]:
+        return self.client_rates or (self.rate,) * self.num_clients
 
     @property
     def packets(self) -> int:
-        return int(self.rate * self.duration)
+        return int(sum(self.rates) * self.duration)
 
 
 def build_rack(config: SimCoreConfig):
@@ -88,7 +110,15 @@ def build_rack(config: SimCoreConfig):
     cluster.load_workload_data(workload)
     if config.warm:
         cluster.warm_cache(workload, config.cache_items)
-    client = cluster.add_workload_client(workload, rate=config.rate)
+    policy = RetryPolicy(seed=config.seed) if config.retries else None
+    rates = config.rates
+    client = cluster.add_workload_client(workload, rate=rates[0],
+                                         retry_policy=policy)
+    for i in range(1, config.num_clients):
+        # Forked stream: same popularity map (hot set agreement), own RNG
+        # streams — the 7919 stride keeps sibling seeds well separated.
+        cluster.add_workload_client(workload.fork(7919 * i), rate=rates[i],
+                                    retry_policy=policy)
     cluster.start_controller()
     return cluster, client, workload
 
@@ -194,7 +224,22 @@ def counters_snapshot(cluster: Cluster, client, trace: DeliveryTrace,
         snap[f"server{sid}.store.gets"] = srv.store.gets
         snap[f"server{sid}.store.puts"] = srv.store.puts
         snap[f"server{sid}.store.core_ops"] = list(srv.store.core_ops)
-    for node_id in sorted(cluster.servers) + [client.node_id]:
+    # Additional workload clients (client-0 keys keep their unprefixed
+    # names so single-client goldens stay comparable across versions).
+    extra = [c for c in cluster.clients
+             if isinstance(c, type(client)) and c is not client]
+    for i, cl in enumerate(extra, start=1):
+        snap[f"client{i}.sent"] = cl.sent
+        snap[f"client{i}.received"] = cl.received
+        snap[f"client{i}.cache_hits"] = cl.cache_hits
+        snap[f"client{i}.retransmissions"] = cl.retransmissions
+        snap[f"client{i}.timeouts"] = cl.timeouts
+        snap[f"client{i}.stale_drops"] = cl.stale_drops
+        snap[f"client{i}.interval_sent"] = cl._interval_sent
+        snap[f"client{i}.interval_received"] = cl._interval_received
+        snap[f"client{i}.latencies"] = list(cl.latencies)
+    for node_id in sorted(cluster.servers) + [c.node_id
+                                              for c in [client] + extra]:
         link = cluster.link_to(node_id)
         snap[f"link{node_id}.transmitted"] = link.transmitted
         snap[f"link{node_id}.dropped"] = link.dropped
@@ -210,7 +255,7 @@ def diff_snapshots(a: Dict, b: Dict) -> List[str]:
         if key == "ff_epochs":  # runner metadata, batched-only
             continue
         va, vb = a.get(key), b.get(key)
-        if key == "client.latencies":
+        if key.endswith(".latencies"):
             la, lb = va or [], vb or []
             if len(la) != len(lb):
                 out.append(f"{key}: length {len(la)} != {len(lb)}")
@@ -259,7 +304,10 @@ class SimCoreRunner:
     * the rack is clean (no fault window, no observers) — enforced both at
       the decision point and by construction, since a fault opening would
       have put the engine in scalar mode;
-    * the workload is read-only (writes perturb validity per-packet);
+    * the coherence plane is idle: no server has pending cache updates or
+      blocked writes (mixed workloads fast-forward through the
+      write-ratio-aware equilibrium; an in-flight update round trip does
+      not);
     * the controller is quiet: no pending hot-key reports and the cache
       contents unchanged for ``quiescent_epochs`` consecutive epochs.
 
@@ -311,8 +359,9 @@ class SimCoreRunner:
         """True when the next epoch is eligible for equilibrium handoff."""
         if self.engine.fault_window_open():
             return False
-        if self.workload.spec.write_ratio > 0.0:
-            return False
+        for srv in self.cluster.servers.values():
+            if srv.shim.pending_updates or srv.shim.blocked_writes:
+                return False
         ctl = self.cluster.controller
         if ctl is not None and ctl.pending_reports() > 0:
             return False
@@ -332,43 +381,98 @@ class SimCoreRunner:
         if self._part is None:
             self._part = partition_vector_for_servers(
                 spec.num_keys, tuple(cluster.plan.server_ids))
+        # Complete the in-flight pipeline before jumping the clock so no
+        # lane entry is left carrying a pre-jump timestamp.
+        self.engine.drain_lanes()
         eq = rack_equilibrium(cluster, self.workload, mask=self._mask.mask())
 
-        # The open-loop client is below saturation or it isn't; either way
-        # the delivered fraction is the equilibrium's.
-        window = t_to - sim.now
-        n = self._sends_in_window(t_to)
-        scale = min(1.0, eq.throughput / client.rate) if n else 1.0
-        delivered = int(round(n * scale))
-        hits = int(round(delivered * eq.hit_ratio))
-        misses = delivered - hits
+        # The open-loop clients are below saturation or they aren't;
+        # either way the delivered fraction is the equilibrium's.
+        total_rate = sum(st.client.rate for st in self.engine._states)
+        n = self.engine.sends_in_window(t_to)
+        scale = min(1.0, eq.throughput / total_rate) if n else 1.0
+        w = spec.write_ratio
+        nw = int(round(n * w))
+        nr = n - nw
+        reads = int(round(nr * scale))
+        writes = int(round(nw * scale))
+        # eq.hit_ratio is hits over *all* served queries (writes included),
+        # so it scales the whole delivered count; the hits themselves are
+        # still reads.
+        hits = int(round((reads + writes) * eq.hit_ratio))
+        misses = reads - hits
+        write_probs = self.workload.write_item_probs() if writes else None
+        cached_w = int(round(writes * cached_write_fraction(
+            write_probs, self._mask.mask()))) if writes else 0
+        plain_w = writes - cached_w
+        delivered = reads + writes
 
-        client.sent += n
-        client._interval_sent += n
-        client.received += delivered
-        client._interval_received += delivered
-        client.cache_hits += hits
-        sim.delivered += hits * 2 + misses * 4
+        # Per-client attribution: each client gets its rate-proportional
+        # share (the remainder lands on client 0).
+        acc_n = acc_d = acc_h = 0
+        states = self.engine._states
+        for st in reversed(states):
+            if st is states[0]:
+                n_i, d_i, h_i = n - acc_n, delivered - acc_d, hits - acc_h
+            else:
+                frac = st.client.rate / total_rate
+                n_i = int(round(n * frac))
+                d_i = int(round(delivered * frac))
+                h_i = int(round(hits * frac))
+                acc_n += n_i
+                acc_d += d_i
+                acc_h += h_i
+            cl = st.client
+            cl.sent += n_i
+            cl._interval_sent += n_i
+            cl.received += d_i
+            cl._interval_received += d_i
+            cl.cache_hits += h_i
+        # Hop counts per query class: a cache hit bounces at the switch
+        # (2 deliveries), a miss takes the full round trip (4), an
+        # uncached write likewise (4), a cached write adds the
+        # invalidation's update + ack legs (6).
+        sim.delivered += hits * 2 + misses * 4 + plain_w * 4 + cached_w * 6
         sim.lost += n - delivered
         switch = cluster.switch
-        switch.processed += delivered * 2 - hits  # query + server reply
-        switch.forwarded += delivered * 2 - hits
+        # Query + server reply transit the switch; a cached write's update
+        # is processed (its ack is generated in-switch, not processed).
+        switch.processed += delivered * 2 - hits + cached_w
+        switch.forwarded += delivered * 2 - hits + cached_w
         dp = switch.dataplane
         dp.cache_hits += hits
         dp.cache_misses += misses
+        dp.writes_seen += writes
+        dp.invalidations += cached_w
+        dp.updates_received += cached_w
 
-        # Spread misses over servers with the equilibrium's per-server load.
+        # Spread misses over servers with the equilibrium's per-server
+        # load; writes by each owner's share of the write distribution.
+        sids = cluster.plan.server_ids
         load = eq.per_server_load
         total = load.sum()
         if misses and total > 0:
             share = np.floor(load / total * misses).astype(int)
             share[int(np.argmax(load))] += misses - int(share.sum())
-            for idx, sid in enumerate(cluster.plan.server_ids):
+            for idx, sid in enumerate(sids):
                 srv = cluster.servers[sid]
                 k = int(share[idx])
                 srv.received += k
                 srv.processed += k
                 srv.store.gets += k
+        if writes:
+            wload = np.array([float(write_probs[self._part == idx].sum())
+                              for idx in range(len(sids))])
+            wtotal = wload.sum()
+            if wtotal > 0:
+                wshare = np.floor(wload / wtotal * writes).astype(int)
+                wshare[int(np.argmax(wload))] += writes - int(wshare.sum())
+                for idx, sid in enumerate(sids):
+                    srv = cluster.servers[sid]
+                    k = int(wshare[idx])
+                    srv.received += k
+                    srv.processed += k
+                    srv.store.puts += k
 
         # Real statistics + reporting, as in the hybrid emulation: the
         # controller keeps seeing a faithful sampled stream, so it can end
@@ -384,14 +488,9 @@ class SimCoreRunner:
             if report is not None:
                 report(hot)
 
-        # Skip the per-send event work: advance the send clock analytically
-        # and let the real control-plane events run the epoch out.
-        self.engine._next_send_time += n * (1.0 / client.rate)
+        # Skip the per-send event work: advance every client's send clock
+        # analytically and let the control-plane events run the epoch out.
+        self.engine.advance_send_clock(t_to)
         self.ff_epochs += 1
         sim.events.run_until(t_to)
-
-    def _sends_in_window(self, t_to: float) -> int:
-        nxt = self.engine._next_send_time
-        if nxt >= t_to:
-            return 0
-        return int(np.floor((t_to - nxt) * self.client.rate)) + 1
+        self.engine.note_time_jump()

@@ -72,6 +72,11 @@ class PerfScenario:
     link_loss: float = 0.0
     #: enable the client retry layer (idempotent writes, backoff+jitter).
     client_retries: bool = False
+    #: simcore knobs: open-loop client count, per-client rates (overrides
+    #: ``rate`` when set), and the seeded retry policy on every client.
+    num_clients: int = 1
+    client_rates: Optional[Tuple[float, ...]] = None
+    retries: bool = False
     #: "cluster" = discrete-event rack; "microbench" = direct statistics
     #: hot-path loop (no simulator).  For microbenches ``duration`` scales
     #: the packet budget instead of simulated seconds.
@@ -114,6 +119,14 @@ SCENARIOS: Dict[str, PerfScenario] = {
             "counters required)",
             kind="simcore", rate=1_000_000.0, duration=10.0,
             stats_interval=1.0),
+        PerfScenario(
+            "simcore_mixed", "10M-packet mixed rack: two open-loop "
+            "clients (600k + 400k QPS), 5% writes through the real write "
+            "pipeline, retry policy armed — the widened fast-path "
+            "contract raced end to end against the scalar loop",
+            kind="simcore", write_ratio=0.05, num_clients=2,
+            client_rates=(600_000.0, 400_000.0), retries=True,
+            duration=10.0, stats_interval=1.0),
     )
 }
 
@@ -404,7 +417,9 @@ def _run_simcore(scenario: PerfScenario, seed: int,
         lookup_entries=scenario.lookup_entries, skew=scenario.skew,
         write_ratio=scenario.write_ratio, rate=scenario.rate,
         duration=scenario.duration, hot_threshold=scenario.hot_threshold,
-        stats_interval=scenario.stats_interval, seed=seed)
+        stats_interval=scenario.stats_interval, seed=seed,
+        num_clients=scenario.num_clients,
+        client_rates=scenario.client_rates, retries=scenario.retries)
 
     wall_start = time.perf_counter()
     batched = run_batched(config)
@@ -418,7 +433,19 @@ def _run_simcore(scenario: PerfScenario, seed: int,
     speedup = ref_elapsed / elapsed if elapsed > 0 else 0.0
     pps = total / elapsed if elapsed > 0 else 0.0
     ref_pps = total / ref_elapsed if ref_elapsed > 0 else 0.0
-    received = scalar["client.received"]
+
+    def clients_total(field: str) -> int:
+        """Sum a per-client counter over client, client1, client2, ..."""
+        total = 0
+        for k, v in scalar.items():
+            if not (k.startswith("client") and k.endswith("." + field)):
+                continue
+            tag = k[len("client"):-len(field) - 1]
+            if tag == "" or tag.isdigit():
+                total += v
+        return total
+
+    received = clients_total("received")
     return {
         "schema": SNAPSHOT_SCHEMA,
         "scenario": scenario.name,
@@ -426,11 +453,13 @@ def _run_simcore(scenario: PerfScenario, seed: int,
         "config": dataclasses.asdict(scenario),
         "results": {
             "packets": total,
-            "queries_sent": scalar["client.sent"],
+            "queries_sent": clients_total("sent"),
             "queries_received": received,
-            "cache_hits": scalar["client.cache_hits"],
-            "cache_hit_ratio": (scalar["client.cache_hits"] / received
+            "cache_hits": clients_total("cache_hits"),
+            "cache_hit_ratio": (clients_total("cache_hits") / received
                                 if received else 0.0),
+            "writes_seen": scalar.get("dataplane.writes_seen", 0),
+            "retransmissions": clients_total("retransmissions"),
             "deliveries": scalar["sim.delivered"],
             "lost": scalar["sim.lost"],
             "trace_digest": scalar["trace.digest"],
@@ -535,6 +564,8 @@ def _render_simcore(snapshot: Dict) -> str:
         f"speedup      : {w.get('speedup_vs_scalar', 0.0):.1f}x",
         f"cache        : {r['cache_hit_ratio']:.1%} client hit ratio "
         f"({r['cache_hits']} hits / {r['queries_received']} answered)",
+        f"writes       : {r.get('writes_seen', 0):,} at the switch, "
+        f"{r.get('retransmissions', 0):,} client retransmissions",
         f"trace        : {r['trace_digest']}",
         f"equivalence  : "
         f"{'byte-identical' if r['paths_match'] else 'DIVERGED'}"
@@ -578,6 +609,8 @@ SIMCORE_GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
     (("results", "queries_sent"), "equal"),
     (("results", "queries_received"), "equal"),
     (("results", "cache_hits"), "equal"),
+    (("results", "writes_seen"), "equal"),
+    (("results", "retransmissions"), "equal"),
     (("results", "deliveries"), "equal"),
     (("results", "lost"), "equal"),
     (("results", "divergences"), "equal"),

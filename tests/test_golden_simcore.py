@@ -40,3 +40,41 @@ def test_scalar_path_matches_pin():
 
 def test_batched_path_matches_pin():
     check(run_batched(GOLDEN_CONFIG))
+
+
+#: the widened-contract scenario: two open-loop clients (600k + 400k QPS
+#: for 100 ms => 100_000 packets), 5% writes, retry policy armed.  Every
+#: lane the fast path grew — write pipeline, k-way send merge, vectorized
+#: retry deadlines — feeds this digest.
+GOLDEN_MIXED_CONFIG = SimCoreConfig(write_ratio=0.05, num_clients=2,
+                                    client_rates=(6e5, 4e5), retries=True)
+
+GOLDEN_MIXED_TRACE_DIGEST = "6aa795662c7fc1ac:303541"
+GOLDEN_MIXED_SENT = (60_001, 40_000)
+GOLDEN_MIXED_RECEIVED = (59_997, 39_998)
+GOLDEN_MIXED_CACHE_HITS = (28_932, 19_350)
+GOLDEN_MIXED_WRITES_SEEN = 5_052
+GOLDEN_MIXED_INVALIDATIONS = 59
+GOLDEN_MIXED_DELIVERED = 303_541
+
+
+def check_mixed(snap):
+    assert snap["trace.digest"] == GOLDEN_MIXED_TRACE_DIGEST
+    assert (snap["client.sent"],
+            snap["client1.sent"]) == GOLDEN_MIXED_SENT
+    assert (snap["client.received"],
+            snap["client1.received"]) == GOLDEN_MIXED_RECEIVED
+    assert (snap["client.cache_hits"],
+            snap["client1.cache_hits"]) == GOLDEN_MIXED_CACHE_HITS
+    assert snap["dataplane.writes_seen"] == GOLDEN_MIXED_WRITES_SEEN
+    assert snap["dataplane.invalidations"] == GOLDEN_MIXED_INVALIDATIONS
+    assert snap["sim.delivered"] == GOLDEN_MIXED_DELIVERED
+
+
+@pytest.mark.slow
+def test_scalar_path_matches_mixed_pin():
+    check_mixed(run_scalar(GOLDEN_MIXED_CONFIG))
+
+
+def test_batched_path_matches_mixed_pin():
+    check_mixed(run_batched(GOLDEN_MIXED_CONFIG))

@@ -65,8 +65,18 @@ configs = st.builds(
     duration=st.just(DURATION),
     warm=st.booleans(),
     hot_threshold=st.sampled_from([4, 8]),
+    retries=st.booleans(),
     seed=st.integers(0, 2**16),
 )
+
+
+@st.composite
+def multi_client_configs(draw):
+    """Random client counts and per-client rates for the k-way merge."""
+    base = draw(configs)
+    k = draw(st.integers(1, 3))
+    rates = tuple(draw(st.sampled_from([3e4, 5e4, 1e5])) for _ in range(k))
+    return dataclasses.replace(base, num_clients=k, client_rates=rates)
 
 plans = st.builds(
     FaultPlan,
@@ -98,6 +108,19 @@ def run_path(config, plan, batched):
 @settings(max_examples=10, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 def test_batched_replays_scalar_exactly(config, plan):
+    scalar = run_path(config, plan, batched=False)
+    batched = run_path(config, plan, batched=True)
+    assert diff_snapshots(scalar, batched) == []
+
+
+@given(config=multi_client_configs(), plan=plans)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_kway_merge_replays_scalar_exactly(config, plan):
+    """The vectorized k-way merge of analytic send streams interleaves
+    exactly like k independent scalar clients racing on the event heap —
+    per-client counters, per-link accounting, and the order-sensitive
+    trace digest all byte-identical, faults and retries included."""
     scalar = run_path(config, plan, batched=False)
     batched = run_path(config, plan, batched=True)
     assert diff_snapshots(scalar, batched) == []

@@ -1,0 +1,183 @@
+"""Sabotage wall: prove the differential harness detects what it claims to.
+
+A green equivalence gate is only evidence if the gate can actually fail.
+Each test here injects exactly one defect — a mutated snapshot field, one
+ulp of client latency, one swapped cache-status bit, one cancelled retry
+timer — and asserts ``diff_snapshots`` flags the divergence *and names the
+right field*.  If any of these pass with an empty diff, the differential
+tests in ``test_simcore.py``/``test_prop_simcore.py`` are decorative.
+
+Two layers:
+
+* snapshot sabotage — mutate one field of a copied snapshot and require
+  the diff to name that field and only that field;
+* behavioral sabotage — perturb the lanes engine (never the scalar
+  reference) mid-run and require the diff to include the field the defect
+  manifests in.
+"""
+
+import copy
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.status import CacheStatusModule
+from repro.net import fastpath
+from repro.net.trace import DeliveryTrace
+from repro.sim.simcore import (
+    SimCoreConfig,
+    SimCoreRunner,
+    build_rack,
+    counters_snapshot,
+    diff_snapshots,
+    run_batched,
+    run_scalar,
+)
+
+
+def tiny(**overrides):
+    defaults = dict(num_servers=4, num_keys=500, cache_items=16,
+                    lookup_entries=256, rate=2e5, duration=0.05, seed=3)
+    defaults.update(overrides)
+    return SimCoreConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def snap():
+    return run_batched(tiny())
+
+
+class TestSnapshotSabotage:
+    """Mutate one field; the diff must name that field and only it."""
+
+    def _assert_only(self, a, b, key):
+        diffs = diff_snapshots(a, b)
+        assert len(diffs) == 1, diffs
+        assert diffs[0].split(":")[0] == key, diffs
+
+    def test_identical_copies_diff_empty(self, snap):
+        assert diff_snapshots(snap, copy.deepcopy(snap)) == []
+
+    def test_bumped_counter_named(self, snap):
+        bad = copy.deepcopy(snap)
+        bad["client.sent"] += 1
+        self._assert_only(snap, bad, "client.sent")
+
+    def test_mutated_trace_digest_named(self, snap):
+        bad = copy.deepcopy(snap)
+        head, count = bad["trace.digest"].split(":")
+        flipped = ("0" if head[0] != "0" else "1") + head[1:]
+        bad["trace.digest"] = f"{flipped}:{count}"
+        self._assert_only(snap, bad, "trace.digest")
+
+    def test_per_key_register_named(self, snap):
+        bad = copy.deepcopy(snap)
+        assert bad["cache.key_counters"], "scenario must cache keys"
+        key_hex, count = bad["cache.key_counters"][0]
+        bad["cache.key_counters"][0] = (key_hex, count + 1)
+        self._assert_only(snap, bad, "cache.key_counters")
+
+    def test_one_latency_ulp_named(self, snap):
+        bad = copy.deepcopy(snap)
+        lat = bad["client.latencies"]
+        assert len(lat) > 5
+        lat[5] = float(np.nextafter(lat[5], np.inf))
+        diffs = diff_snapshots(snap, bad)
+        assert diffs == ["client.latencies: 1 samples differ (first at 5)"]
+
+    def test_busy_until_float_named(self, snap):
+        bad = copy.deepcopy(snap)
+        key = next(k for k in sorted(bad) if k.endswith(".busy_until"))
+        bad[key] = float(np.nextafter(bad[key], np.inf))
+        self._assert_only(snap, bad, key)
+
+
+def run_faulted(cfg, script, batched, arm=None):
+    """Run one path with a fault script; *arm* sabotages the engine."""
+    cluster, client, workload = build_rack(cfg)
+    trace = DeliveryTrace()
+    if not batched:
+        trace.attach(cluster.sim)
+    script(cluster, client)
+    if batched:
+        runner = SimCoreRunner(cluster, client, workload, trace=trace)
+        if arm is not None:
+            arm(runner.engine)
+        runner.run(cfg.duration)
+        return counters_snapshot(cluster, client, trace,
+                                 engine=runner.engine)
+    cluster.sim.run_until(cluster.sim.now + cfg.duration)
+    return counters_snapshot(cluster, client, trace)
+
+
+class TestBehavioralSabotage:
+    """Perturb the lanes engine by one quantum; the diff must notice."""
+
+    def test_one_ulp_of_latency_flags_latencies_only(self, monkeypatch):
+        cfg = tiny()
+        scalar = run_scalar(cfg)
+        monkeypatch.setattr(
+            fastpath, "CLIENT_OVERHEAD",
+            float(np.nextafter(fastpath.CLIENT_OVERHEAD, np.inf)))
+        sabotaged = run_batched(cfg)
+        diffs = diff_snapshots(scalar, sabotaged)
+        assert diffs, "one-ulp latency skew must not pass the gate"
+        fields = {d.split(":")[0] for d in diffs}
+        assert all(f.endswith(".latencies") for f in fields), diffs
+
+    def test_one_swapped_valid_bit_flags_the_register(self, monkeypatch):
+        # Swap the cache-status bit back to valid after the first
+        # data-plane invalidation (batched run only).  The harness pins
+        # every register's read/write accounting, so the lone spurious
+        # bitmap write is caught and named even before a stale read
+        # could leak through.
+        cfg = tiny(write_ratio=0.1, seed=5)
+        scalar = run_scalar(cfg)
+        orig = CacheStatusModule.invalidate
+        armed = {"live": True}
+
+        def sabotaged(self, key_index):
+            orig(self, key_index)
+            if armed["live"]:
+                armed["live"] = False
+                self.valid.write_int(key_index, 1)
+
+        monkeypatch.setattr(CacheStatusModule, "invalidate", sabotaged)
+        bad = run_batched(cfg)
+        diffs = diff_snapshots(scalar, bad)
+        assert len(diffs) == 1, diffs
+        assert re.match(r"pipe\d+\.valid\.writes:", diffs[0]), diffs
+
+    def test_one_dropped_retry_timer_flags_retransmissions(self):
+        # Cancel the first retry timer the engine registers: the scalar
+        # reference retransmits through the crash window, the sabotaged
+        # batched run silently loses that request.
+        cfg = tiny(duration=0.03, retries=True, seed=8)
+
+        def script(cluster, client):
+            sid = cluster.plan.server_ids[0]
+            ev = cluster.sim.events
+            ev.schedule_at(0.008, cluster.crash_server, sid)
+            ev.schedule_at(0.020, cluster.restart_server, sid)
+
+        def arm(engine):
+            orig = engine._scalarize_entry
+            armed = {"live": True}
+
+            def sabotaged(st, seq, item, sent, op, value, track=False):
+                orig(st, seq, item, sent, op, value, track=track)
+                entry = st.client._outstanding.get(int(seq))
+                if armed["live"] and entry is not None \
+                        and entry.timer is not None:
+                    armed["live"] = False
+                    entry.timer.cancel()
+
+            engine._scalarize_entry = sabotaged
+
+        scalar = run_faulted(cfg, script, batched=False)
+        bad = run_faulted(cfg, script, batched=True, arm=arm)
+        diffs = diff_snapshots(scalar, bad)
+        assert diffs, "a lost retransmission chain must not pass the gate"
+        fields = {d.split(":")[0] for d in diffs}
+        assert "client.retransmissions" in fields, diffs

@@ -90,6 +90,59 @@ class TestDifferential:
         assert diff_snapshots(a, b) == []
         assert a["controller.insertions"] > 0
 
+    def test_retries_byte_identical(self):
+        # Retry policies ride the lanes: the flag-horizon scan registers
+        # real timers only for requests whose deadline could fire, and
+        # the scalar/batched timer RNG streams must coincide exactly.
+        cfg = tiny(retries=True, seed=9)
+        a, b = run_scalar(cfg), run_batched(cfg)
+        assert diff_snapshots(a, b) == []
+
+    def test_multi_client_byte_identical(self):
+        # Two open-loop clients at different rates: the k-way merged send
+        # stream must interleave exactly like the scalar event heap.
+        cfg = tiny(num_clients=2, client_rates=(2e5, 7e4), seed=4)
+        a, b = run_scalar(cfg), run_batched(cfg)
+        assert diff_snapshots(a, b) == []
+        assert a["client1.sent"] > 0
+
+    def test_mixed_multi_client_retries_byte_identical(self):
+        # The full widened contract at once: write lanes + k-way merge +
+        # vectorized retry deadlines, all byte-identical.
+        cfg = tiny(write_ratio=0.05, num_clients=2, rate=1e5,
+                   retries=True, seed=6)
+        a, b = run_scalar(cfg), run_batched(cfg)
+        assert diff_snapshots(a, b) == []
+        assert a["dataplane.writes_seen"] > 0
+
+    def test_down_server_with_retries_byte_identical(self):
+        # A crashed server turns lane entries into node drops whose
+        # retransmission chains must replay exactly (including the
+        # eventual timeout accounting).
+        cfg = tiny(duration=0.03, retries=True, seed=8)
+        sid = {}
+
+        def script(cluster, client):
+            sid["victim"] = cluster.plan.server_ids[0]
+            ev = cluster.sim.events
+            ev.schedule_at(0.008, cluster.crash_server, sid["victim"])
+            ev.schedule_at(0.020, cluster.restart_server, sid["victim"])
+
+        a = run_with_script(cfg, script, batched=False)
+        b = run_with_script(cfg, script, batched=True)
+        assert diff_snapshots(a, b) == []
+        assert a["sim.node_drops"] > 0
+        assert a["client.retransmissions"] > 0
+
+    def test_write_invalidation_coherence_byte_identical(self):
+        # Heavy writes on a hot cached set: invalidations, value updates
+        # and blocked-write drains interleave with batched reads.
+        cfg = tiny(write_ratio=0.3, seed=13)
+        a, b = run_scalar(cfg), run_batched(cfg)
+        assert diff_snapshots(a, b) == []
+        assert a["dataplane.invalidations"] > 0
+        assert a["dataplane.updates_received"] > 0
+
 
 class TestEligibility:
     def _rack(self, **cluster_over):
@@ -101,12 +154,13 @@ class TestEligibility:
         cluster.load_workload_data(workload)
         return cluster, workload
 
-    def test_retry_policy_rejected(self):
+    def test_retry_policy_accepted(self):
         cluster, workload = self._rack()
         client = cluster.add_workload_client(workload, rate=1e5,
                                              retry_policy=RetryPolicy())
-        with pytest.raises(ConfigurationError):
-            FastPathEngine(cluster, client)
+        engine = FastPathEngine(cluster, client)
+        assert engine._tmin == pytest.approx(
+            RetryPolicy().min_delay())
 
     def test_rate_controller_rejected(self):
         cluster, workload = self._rack()
@@ -126,12 +180,19 @@ class TestEligibility:
         with pytest.raises(ConfigurationError):
             FastPathEngine(cluster, client)
 
-    def test_second_workload_client_rejected(self):
+    def test_second_workload_client_accepted(self):
         cluster, workload = self._rack()
         client = cluster.add_workload_client(workload, rate=1e5)
+        cluster.add_workload_client(workload.fork(7919), rate=5e4)
+        engine = FastPathEngine(cluster, client)
+        assert len(engine._states) == 2
+
+    def test_client_must_be_first(self):
+        cluster, workload = self._rack()
         cluster.add_workload_client(workload, rate=1e5)
+        second = cluster.add_workload_client(workload.fork(7919), rate=1e5)
         with pytest.raises(ConfigurationError):
-            FastPathEngine(cluster, client)
+            FastPathEngine(cluster, second)
 
 
 def hit_ratio(snap):
@@ -181,6 +242,91 @@ class TestFastForward:
         clean = run(lambda cluster, client: None)
         assert clean.ff_epochs > 0
 
-    def test_disabled_for_write_workloads(self):
+    def test_mixed_workload_fast_forwards(self):
+        # Write-ratio-aware equilibria: mixed epochs fast-forward too,
+        # with write/invalidation accounting synthesized from the
+        # cached-write fraction.
         cfg = self.settled(write_ratio=0.05)
-        assert run_batched(cfg, fast_forward=True)["ff_epochs"] == 0
+        event = run_batched(cfg, fast_forward=False)
+        ff = run_batched(cfg, fast_forward=True)
+        assert ff["ff_epochs"] > 0
+        assert ff["dataplane.writes_seen"] > 0
+        assert ff["dataplane.invalidations"] > 0
+        assert hit_ratio(ff) == pytest.approx(hit_ratio(event), abs=0.02)
+        assert ff["client.received"] == pytest.approx(
+            event["client.received"], rel=0.01)
+
+
+class TestCoverage:
+    """Fast-path coverage accounting and scalar-fallback telemetry."""
+
+    def _run_engine(self, cfg, script=None):
+        cluster, client, workload = build_rack(cfg)
+        if script is not None:
+            script(cluster, client)
+        runner = SimCoreRunner(cluster, client, workload,
+                               trace=DeliveryTrace())
+        runner.run(cfg.duration)
+        return runner.engine
+
+    @pytest.mark.parametrize("overrides", [
+        dict(),
+        dict(write_ratio=0.1, seed=5),
+        dict(retries=True, seed=9),
+        dict(num_clients=2, client_rates=(2e5, 7e4), seed=4),
+        dict(write_ratio=0.05, num_clients=2, rate=1e5, retries=True),
+    ])
+    def test_full_coverage_on_clean_scenarios(self, overrides):
+        # The widened contract: writes, retries, and extra clients no
+        # longer force scalar sends — clean runs stay 100% on the lanes.
+        engine = self._run_engine(tiny(**overrides))
+        assert engine.coverage() == 1.0
+        assert engine.scalar_fallbacks == 0
+        assert engine.fallback_reasons == {}
+
+    def test_link_fault_fallback_counted(self):
+        def script(cluster, client):
+            link = cluster.link_to(client.node_id)
+            cluster.sim.events.schedule_at(
+                0.01, link.start_loss_burst, 0.5, 0.02)
+
+        engine = self._run_engine(tiny(duration=0.04), script)
+        assert engine.fallback_reasons.get("link_fault", 0) > 0
+        # Some sends went scalar during the burst, but the run as a whole
+        # stays mostly on the fast path.
+        assert 0.0 < engine.coverage() < 1.0
+        assert engine.coverage() >= 0.5
+
+    def test_node_down_fallback_counted(self):
+        # A ToR outage is global — the engine must leave the lanes.
+        def script(cluster, client):
+            ev = cluster.sim.events
+            tor = cluster.plan.tor_id
+            ev.schedule_at(0.010, cluster.sim.set_node_down, tor, True)
+            ev.schedule_at(0.025, cluster.sim.set_node_down, tor, False)
+
+        engine = self._run_engine(tiny(duration=0.04), script)
+        assert engine.fallback_reasons.get("node_down", 0) > 0
+
+    def test_server_crash_absorbed_in_lane(self):
+        # A crashed storage server does NOT force scalar mode: its lane
+        # entries become per-entry drops while other owners stay batched.
+        def script(cluster, client):
+            sid = cluster.plan.server_ids[0]
+            ev = cluster.sim.events
+            ev.schedule_at(0.010, cluster.crash_server, sid)
+            ev.schedule_at(0.025, cluster.restart_server, sid)
+
+        engine = self._run_engine(tiny(duration=0.04), script)
+        assert engine.fallback_reasons == {}
+        assert engine.coverage() == 1.0
+
+    def test_observer_fallback_mirrored_to_obs_counter(self):
+        from repro.obs import runtime as obs_runtime
+
+        with obs_runtime.session() as obs:
+            engine = self._run_engine(tiny(duration=0.01))
+            assert engine.fallback_reasons.get("observer", 0) > 0
+            assert engine.coverage() == 0.0
+            mirrored = obs.registry.counter("fastpath.fallback.observer")
+            assert mirrored.value == engine.fallback_reasons["observer"]
