@@ -9,63 +9,43 @@ These policy models make that argument measurable: each policy processes a
 query stream under a *table-update budget per interval*; updates beyond the
 budget are dropped (the switch driver simply cannot apply them), and the
 resulting hit ratio is what the ablation benchmark compares.
+
+Since the cache-geometry seam, the shared contract lives in
+:mod:`repro.core.geometry`: every policy here is an
+:class:`~repro.core.geometry.AdmissionPolicy` implementing only the stream
+surface (they never drive the live controller's victim sampling), and
+:class:`UpdateBudget`/:func:`run_policy` are re-exported from there so the
+ablation benchmark and the geometry tournament run one code path.
 """
 
 from __future__ import annotations
 
 from collections import Counter, OrderedDict
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
+from repro.core.geometry import (  # noqa: F401  (re-exported contract)
+    AdmissionPolicy,
+    SampleEvictPolicy,
+    UpdateBudget,
+    run_policy,
+)
 from repro.errors import ConfigurationError
 
 
-class CachePolicy:
-    """Interface: feed keys, observe hits, count table updates."""
+class CachePolicy(AdmissionPolicy):
+    """Stream-surface policy base: feed keys, observe hits, count updates.
+
+    Degenerate :class:`~repro.core.geometry.AdmissionPolicy`: the control
+    surface stays inert (``pick_victim`` returns None — these policies do
+    their own eviction inline) and the capacity must be a real cache size.
+    """
 
     name = "abstract"
 
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ConfigurationError("capacity must be positive")
-        self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self.updates_attempted = 0
-        self.updates_applied = 0
-
-    def access(self, key: bytes, budget: "UpdateBudget") -> bool:
-        raise NotImplementedError
-
-    def end_interval(self, budget: "UpdateBudget") -> None:
-        """Hook for policies that batch updates per interval."""
-
-    @property
-    def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-
-class UpdateBudget:
-    """Table-entry updates available per interval (switch driver limit)."""
-
-    def __init__(self, per_interval: int):
-        if per_interval < 0:
-            raise ConfigurationError("budget must be non-negative")
-        self.per_interval = per_interval
-        self.remaining = per_interval
-        self.spent = 0
-        self.denied = 0
-
-    def take(self, n: int = 1) -> bool:
-        if self.remaining >= n:
-            self.remaining -= n
-            self.spent += n
-            return True
-        self.denied += n
-        return False
-
-    def refill(self) -> None:
-        self.remaining = self.per_interval
+        super().__init__(capacity)
 
 
 class LruPolicy(CachePolicy):
@@ -171,28 +151,6 @@ class ThresholdPolicy(CachePolicy):
         self._miss_counts.clear()
         for k in self._cache:
             self._cache[k] = 0
-
-
-def run_policy(policy: CachePolicy, stream: Iterable[bytes],
-               queries_per_interval: int,
-               updates_per_interval: int) -> Tuple[float, int]:
-    """Feed *stream* through *policy* with interval-based update budgets.
-
-    Returns (hit_ratio, updates_applied).
-    """
-    if queries_per_interval <= 0:
-        raise ConfigurationError("queries_per_interval must be positive")
-    budget = UpdateBudget(updates_per_interval)
-    in_interval = 0
-    for key in stream:
-        policy.access(key, budget)
-        in_interval += 1
-        if in_interval >= queries_per_interval:
-            policy.end_interval(budget)
-            budget.refill()
-            in_interval = 0
-    policy.end_interval(budget)
-    return policy.hit_ratio, policy.updates_applied
 
 
 def compare_policies(stream_factory, capacity: int,

@@ -23,6 +23,7 @@ from repro.constants import (
     DEFAULT_CACHE_ITEMS,
     STATS_RESET_INTERVAL,
 )
+from repro.core.geometry import AdmissionPolicy, SampleEvictPolicy
 from repro.core.switch import NetCacheSwitch
 from repro.errors import ConfigurationError
 from repro.kvstore.partition import HashPartitioner
@@ -56,6 +57,12 @@ class CacheController:
         Maps a server id to this switch's egress port toward it.  Defaults
         to the switch's own neighbour table (a ToR); a spine cache passes a
         resolver that routes through the server's rack.
+    policy:
+        The :class:`~repro.core.geometry.AdmissionPolicy` deciding victim
+        selection when the cache is at capacity.  Defaults to the paper's
+        :class:`~repro.core.geometry.SampleEvictPolicy`; the controller
+        still owns the sampling RNG so swapping policies cannot perturb
+        the seeded random stream.
     async_insertions:
         When True (set by :class:`~repro.sim.cluster.Cluster`), the
         ``finish_insertion`` control RPC completes ``insertion_latency``
@@ -83,7 +90,8 @@ class CacheController:
                  lease_timeout: float = 0.005,
                  insertion_latency: float = 200e-6,
                  async_insertions: bool = False,
-                 server_probe: Optional[Callable[[int], bool]] = None):
+                 server_probe: Optional[Callable[[int], bool]] = None,
+                 policy: Optional[AdmissionPolicy] = None):
         if cache_capacity <= 0:
             raise ConfigurationError("cache_capacity must be positive")
         if sample_size <= 0:
@@ -101,6 +109,7 @@ class CacheController:
         self.stats_interval = stats_interval
         self.update_interval = update_interval
         self._port_of = port_resolver or switch.egress_port_of
+        self.policy = policy or SampleEvictPolicy()
         self.reorganize_interval = reorganize_interval
         self.fragmentation_threshold = fragmentation_threshold
         self.reorganizations = 0
@@ -225,10 +234,14 @@ class CacheController:
                                  self._reorganize_tick)
 
     def reorganize(self) -> int:
-        """Defragment fragmented pipes now; returns pipes repacked."""
+        """Defragment fragmented pipes now; returns pipes repacked.
+
+        Fragmentation-free layouts report an empty per-pipe list, so this
+        is a no-op for them."""
         repacked = 0
-        for pipe, mm in enumerate(self.switch.dataplane.memory):
-            if mm.fragmentation() > self.fragmentation_threshold:
+        layout = self.switch.dataplane.layout
+        for pipe, frag in enumerate(layout.fragmentation_by_pipe()):
+            if frag > self.fragmentation_threshold:
                 self._defragment_pipe(pipe)
                 self.reorganizations += 1
                 repacked += 1
@@ -283,13 +296,11 @@ class CacheController:
             return None
         sample = (cached if len(cached) <= self.sample_size
                   else self._rng.sample(cached, self.sample_size))
-        coldest = min(sample, key=self.switch.counter_of)
-        candidate_count = self.switch.dataplane.stats.sketch.estimate(candidate)
-        # Counters and sketch are reset together, so the comparison is
-        # between same-interval (sampled) frequencies.
-        if candidate_count <= self.switch.counter_of(coldest):
-            return None
-        return coldest
+        # Counters and sketch are reset together, so the policy compares
+        # same-interval (sampled) frequencies.
+        return self.policy.pick_victim(
+            candidate, sample, self.switch.counter_of,
+            self.switch.dataplane.stats.sketch.estimate)
 
     def _insert(self, key: bytes, victim: Optional[bytes] = None) -> bool:
         """Fetch the value from the owning server and install the entry.
@@ -338,7 +349,7 @@ class CacheController:
             port = self._port_of(server_id)
             if not self.switch.dataplane.install(key, value, port):
                 # Pipe memory full or fragmented: defragment once and retry.
-                self._defragment_pipe(self.switch.dataplane.pipe_of_port(port))
+                self.switch.dataplane.layout.try_defragment(port)
                 if not self.switch.dataplane.install(key, value, port):
                     self.rejections += 1
                     return False
@@ -370,23 +381,8 @@ class CacheController:
 
     def _defragment_pipe(self, pipe: int) -> None:
         """Reorganize one pipe's value memory (paper §4.4.2: "periodic
-        memory reorganization").  Moved items are rewritten through the
-        control plane; each is invalid only between clear and rewrite, and
-        we do both atomically here."""
-        dataplane = self.switch.dataplane
-        values = dataplane.values[pipe]
-        moves = dataplane.memory[pipe].defragment()
-        # Moves can overlap (one key's new slots are another's old slots),
-        # so stage all reads before any clear, and all clears before any
-        # write.
-        staged = [(key, old, new, values.read(old)) for key, old, new in moves]
-        for _key, old, _new, _value in staged:
-            values.clear(old)
-        for key, _old, new, value in staged:
-            values.write(new, value)
-            entry = dataplane.lookup.table.lookup(key)
-            entry["bitmap"] = new.bitmap
-            entry["value_index"] = new.index
+        memory reorganization"); the mechanics live with the layout."""
+        self.switch.dataplane.layout.defragment_pipe(pipe)
 
     # -- degraded keys (shim cache-update retry exhaustion) -----------------------------
 

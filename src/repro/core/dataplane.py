@@ -3,8 +3,10 @@
 :class:`NetCacheDataplane` is the functional model of the compiled P4
 program: given a packet and its ingress port, it performs the cache lookup,
 serves or invalidates cached items, updates the query statistics, and decides
-the egress port.  It owns the per-egress-pipe value stores, cache status
-modules, and memory managers, plus the (logically global) statistics engine.
+the egress port.  Where keys and value bytes actually live is delegated to a
+pluggable :class:`~repro.core.geometry.CacheLayout` (the paper's design is
+:class:`~repro.core.geometry.PaperLayout`, the default); the dataplane keeps
+the (logically global) statistics engine and the per-packet counters.
 
 The surrounding :class:`~repro.core.switch.NetCacheSwitch` node handles
 actual packet motion; this class never talks to the simulator, which keeps it
@@ -26,12 +28,15 @@ from repro.constants import (
     VALUE_ARRAY_SLOTS,
     VALUE_SLOT_SIZE,
 )
-from repro.core.lookup import CacheLookupTable, LookupResult
-from repro.core.memory import Allocation, SwitchMemoryManager
+from repro.core.geometry import (
+    RECIRCULATION_DELAY,
+    CacheLayout,
+    LayoutHit,
+    PaperLayout,
+    make_layout,
+)
 from repro.core.primitives import port_to_pipe
 from repro.core.stats import QueryStatistics
-from repro.core.status import CacheStatusModule
-from repro.core.values import ValueStore
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 from repro.net.protocol import CACHED_WRITE_REWRITE, Op
@@ -57,6 +62,9 @@ class PipelineResult:
     #: extra packets the pipeline generated (e.g. a CACHE_UPDATE_ACK), each
     #: paired with its egress port.
     generated: List["PortedPacket"] = dataclasses.field(default_factory=list)
+    #: extra pipeline latency before the packet leaves (recirculation
+    #: passes for multi-pass layouts; 0.0 for single-pass serves).
+    delay: float = 0.0
 
 
 @dataclasses.dataclass
@@ -86,30 +94,31 @@ class NetCacheDataplane:
                  num_value_stages: int = NUM_VALUE_STAGES,
                  value_slots: int = VALUE_ARRAY_SLOTS,
                  slot_bytes: int = VALUE_SLOT_SIZE,
-                 stats: Optional[QueryStatistics] = None):
+                 stats: Optional[QueryStatistics] = None,
+                 layout=None):
         if num_pipes <= 0:
             raise ConfigurationError("num_pipes must be positive")
         self.routing = routing
         self.num_pipes = num_pipes
         self.ports_per_pipe = ports_per_pipe
-        self.lookup = CacheLookupTable(entries=entries, ingress_pipes=num_pipes)
+        self.layout: CacheLayout = make_layout(
+            layout,
+            num_pipes=num_pipes,
+            ports_per_pipe=ports_per_pipe,
+            entries=entries,
+            num_value_stages=num_value_stages,
+            value_slots=value_slots,
+            slot_bytes=slot_bytes,
+        )
         self.stats = stats or QueryStatistics(entries=entries)
-        # Per-egress-pipe state: values live only in the pipe that connects
-        # to the owning server (§4.4.4); each pipe gets its own allocator.
-        self.values: List[ValueStore] = [
-            ValueStore(p, num_arrays=num_value_stages, slots=value_slots,
-                       slot_bytes=slot_bytes)
-            for p in range(num_pipes)
-        ]
-        self.status: List[CacheStatusModule] = [
-            CacheStatusModule(p, entries=entries) for p in range(num_pipes)
-        ]
-        self.memory: List[SwitchMemoryManager] = [
-            SwitchMemoryManager(num_arrays=num_value_stages,
-                                slots_per_array=value_slots,
-                                slot_bytes=slot_bytes)
-            for p in range(num_pipes)
-        ]
+        if isinstance(self.layout, PaperLayout):
+            # Back-compat aliases into the paper geometry's internals;
+            # tests, fault invariants, and the resource report reach these
+            # directly.  Other layouts have their own state shapes.
+            self.lookup = self.layout.lookup
+            self.values = self.layout.values
+            self.status = self.layout.status
+            self.memory = self.layout.memory
         #: bumped on every install/evict so callers can cache derived views
         #: of the cache contents.
         self.contents_version = 0
@@ -153,24 +162,23 @@ class NetCacheDataplane:
 
     # Read queries: Alg 1 lines 1-9.
     def _process_get(self, pkt: Packet) -> PipelineResult:
-        res = self.lookup.lookup(pkt.key)
-        if res is not None:
-            pipe = self.pipe_of_port(res.egress_port)
-            if self.status[pipe].is_valid(res.key_index):
-                return self._serve_hit(pkt, res, pipe)
+        hit = self.layout.lookup_hit(pkt.key)
+        if hit is not None:
+            return self._serve_hit(pkt, hit)
         return self._miss_path(pkt)
 
-    def _serve_hit(self, pkt: Packet, res: LookupResult, pipe: int) -> PipelineResult:
+    def _serve_hit(self, pkt: Packet, hit: LayoutHit) -> PipelineResult:
         self.cache_hits += 1
-        self.stats.cache_count(pkt.key, res.key_index)
-        value = self.values[pipe].read(res.allocation)
+        self.stats.cache_count(pkt.key, hit.key_index)
+        value = self.layout.read_value(hit)
         client = pkt.src
         # Ingress saved the route back to the client (match on source
         # address, §4.4.4); egress mirrors the reply to that upstream port.
         reply_port = self._route(client)
         pkt.turn_around(Op.GET_REPLY, value=value)
         pkt.served_by_cache = True
-        return PipelineResult(Action.FORWARD, reply_port)
+        return PipelineResult(Action.FORWARD, reply_port,
+                              delay=hit.extra_passes * RECIRCULATION_DELAY)
 
     def _miss_path(self, pkt: Packet) -> PipelineResult:
         self.cache_misses += 1
@@ -182,10 +190,7 @@ class NetCacheDataplane:
     # Write queries: Alg 1 lines 10-13.
     def _process_write(self, pkt: Packet) -> PipelineResult:
         self.writes_seen += 1
-        res = self.lookup.lookup(pkt.key)
-        if res is not None:
-            pipe = self.pipe_of_port(res.egress_port)
-            self.status[pipe].invalidate(res.key_index)
+        if self.layout.handle_write(pkt.key):
             self.invalidations += 1
             # Tell the server its key is cached so it runs the coherence
             # path (§4.3: "modifies the operation field ... to special
@@ -196,17 +201,7 @@ class NetCacheDataplane:
     # Server -> switch value updates (§4.3).
     def _process_update(self, pkt: Packet) -> PipelineResult:
         self.updates_received += 1
-        res = self.lookup.lookup(pkt.key)
-        applied = False
-        if res is not None and pkt.value is not None:
-            pipe = self.pipe_of_port(res.egress_port)
-            store = self.values[pipe]
-            if store.fits(res.allocation, pkt.value):
-                if self.status[pipe].try_update(res.key_index, pkt.seq):
-                    store.write(res.allocation, pkt.value)
-                applied = True
-            # A larger value cannot be updated by the data plane (§4.3);
-            # the entry stays invalid until the controller reinstalls it.
+        applied = self.layout.apply_update(pkt.key, pkt.value, pkt.seq)
         ack = pkt.make_reply(Op.CACHE_UPDATE_ACK)
         ack.served_by_cache = applied
         ack_port = self._route(ack.dst)
@@ -222,48 +217,24 @@ class NetCacheDataplane:
         (:mod:`repro.sim.emulation`) uses this to drive the real statistics
         and controller machinery without paying per-packet event costs.
         """
-        res = self.lookup.lookup(key)
-        if res is not None:
-            pipe = self.pipe_of_port(res.egress_port)
-            if self.status[pipe].is_valid(res.key_index):
-                self.cache_hits += 1
-                self.stats.cache_count(key, res.key_index)
-                return None
+        hit = self.layout.lookup_hit(key)
+        if hit is not None:
+            self.cache_hits += 1
+            self.stats.cache_count(key, hit.key_index)
+            return None
         self.cache_misses += 1
         return self.stats.heavy_hitter_count(key)
 
     def _classify_reads(self, keys: Sequence[bytes], read_values: bool):
-        """Classify a read stream against the lookup table.
+        """Classify a read stream against the cache layout.
 
         Returns ``(hit_mask, hit_indexes, miss_keys, miss_pos)``; with
         *read_values* each valid hit also reads its value registers, which
         is the accounting difference between a real Get (:meth:`_serve_hit`)
         and a statistics-only observation (:meth:`observe_read`).
         """
-        probe = self.lookup.probe
-        status = self.status
-        values = self.values
-        ports_per_pipe = self.ports_per_pipe
-        num_pipes = self.num_pipes
-        hit_mask = np.zeros(len(keys), dtype=bool)
-        hit_indexes: List[int] = []
-        miss_keys: List[bytes] = []
-        miss_pos: List[int] = []
-        for j, key in enumerate(keys):
-            entry = probe(key)
-            if entry is not None:
-                key_index = entry["key_index"]
-                pipe = (entry["egress_port"] // ports_per_pipe) % num_pipes
-                if status[pipe].is_valid(key_index):
-                    hit_mask[j] = True
-                    hit_indexes.append(key_index)
-                    if read_values:
-                        values[pipe].read(Allocation(
-                            index=entry["value_index"],
-                            bitmap=entry["bitmap"]))
-                    continue
-            miss_keys.append(key)
-            miss_pos.append(j)
+        hit_mask, hit_indexes, miss_keys, miss_pos = \
+            self.layout.classify_reads(keys, read_values)
         self.cache_hits += len(hit_indexes)
         self.cache_misses += len(miss_keys)
         return hit_mask, hit_indexes, miss_keys, miss_pos
@@ -338,60 +309,43 @@ class NetCacheDataplane:
     # -- control-plane API (used by the controller) ---------------------------------
 
     def cached_keys(self) -> List[bytes]:
-        return self.lookup.cached_keys()
+        return self.layout.cached_keys()
 
     def is_cached(self, key: bytes) -> bool:
-        return key in self.lookup
+        return self.layout.is_cached(key)
 
     def cache_size(self) -> int:
-        return len(self.lookup)
+        return self.layout.cache_size()
 
-    def install(self, key: bytes, value: bytes, egress_port: int) -> bool:
-        """Insert *key* -> *value*, placed in the pipe of *egress_port*.
+    def install(self, key: bytes, value: bytes, egress_port: int,
+                **layout_kwargs) -> bool:
+        """Insert *key* -> *value*, placed per the layout's geometry.
 
-        Returns False when that pipe's memory has no room (caller may evict
-        or defragment and retry).  Empty values are not cacheable: a Get on
-        them is served by the storage server.
+        Returns False when the layout has no room for the item (caller may
+        evict or defragment and retry).  Empty values are not cacheable: a
+        Get on them is served by the storage server.  Extra keyword
+        arguments pass through to the layout (e.g. SetAssoc's in-set
+        displacement takes ``candidate_count``).
         """
-        if not value:
+        if not self.layout.install(key, value, egress_port, **layout_kwargs):
             return False
-        pipe = self.pipe_of_port(egress_port)
-        alloc = self.memory[pipe].insert(key, len(value))
-        if alloc is None:
-            return False
-        key_index = self.lookup.insert(key, alloc, egress_port)
-        self.values[pipe].write(alloc, value)
-        self.status[pipe].reset_entry(key_index)
-        self.status[pipe].set_valid(key_index)
         self.contents_version += 1
         return True
 
     def evict(self, key: bytes) -> bool:
         """Remove *key* from the cache; returns False if absent."""
-        res = self.lookup.lookup(key)
-        if res is None:
+        if not self.layout.evict(key):
             return False
-        pipe = self.pipe_of_port(res.egress_port)
-        key_index = self.lookup.remove(key)
-        self.status[pipe].reset_entry(key_index)
-        self.values[pipe].clear(res.allocation)
-        self.memory[pipe].evict(key)
         self.contents_version += 1
         return True
 
     def read_cached_value(self, key: bytes) -> Optional[bytes]:
         """Control-plane read of a cached (valid) value; None otherwise."""
-        res = self.lookup.lookup(key)
-        if res is None:
-            return None
-        pipe = self.pipe_of_port(res.egress_port)
-        if not self.status[pipe].is_valid(res.key_index):
-            return None
-        return self.values[pipe].read(res.allocation)
+        return self.layout.read_cached_value(key)
 
     def counter_of(self, key: bytes) -> int:
         """Controller read of one cached key's hit counter."""
-        key_index = self.lookup.key_index_of(key)
+        key_index = self.layout.key_index_of(key)
         if key_index is None:
             return 0
         return self.stats.read_counter(key_index)
@@ -414,5 +368,8 @@ class NetCacheDataplane:
         return dropped
 
     def hit_ratio(self) -> float:
+        """Fraction of reads served by the cache; 0.0 on an idle switch."""
         total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        if total <= 0:
+            return 0.0
+        return self.cache_hits / total

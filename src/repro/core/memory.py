@@ -181,7 +181,10 @@ class SwitchMemoryManager:
         to 1.0 means free slots are scattered across bins.
         """
         free = self.free_slots
-        if free == 0:
+        if free <= 0 or not self._mem:
+            # A full (or degenerate zero-slot) manager has no insertable
+            # value to be unable to place: report unfragmented rather than
+            # dividing by zero.
             return 0.0
         best_bin = max(popcount(b) for b in self._mem)
         return 1.0 - best_bin / min(self.num_arrays, free)

@@ -71,36 +71,17 @@ class ResourceReport:
 def report_for(dataplane: NetCacheDataplane) -> ResourceReport:
     """Account the SRAM footprint of *dataplane*.
 
-    Value arrays are counted across all egress pipes (each pipe holds only
-    its servers' values, §4.4.4, so this is the real total, not a replica
-    count); the lookup table is counted once per ingress pipe.
+    The cache-geometry components come from the layout's own accounting
+    (for the paper design: the lookup table counted once per ingress pipe,
+    value arrays counted across all egress pipes — each pipe holds only
+    its servers' values, §4.4.4, so that is the real total, not a replica
+    count); the statistics engine is appended by this function since it is
+    shared by every geometry.
     """
-    lines: List[ResourceLine] = []
-
-    lookup = dataplane.lookup
-    lines.append(ResourceLine(
-        "cache_lookup",
-        lookup.sram_bytes,
-        f"{lookup.table.max_entries} entries x "
-        f"{lookup.table.key_bytes + lookup.ACTION_DATA_BYTES}B, "
-        f"replicated over {lookup.ingress_pipes} ingress pipes",
-    ))
-
-    value_bytes = sum(store.sram_bytes for store in dataplane.values)
-    per_pipe = dataplane.values[0]
-    lines.append(ResourceLine(
-        "value_arrays",
-        value_bytes,
-        f"{len(dataplane.values)} pipes x {per_pipe.num_arrays} stages x "
-        f"{per_pipe.arrays[0].slots} x {per_pipe.slot_bytes}B",
-    ))
-
-    status_bytes = sum(st.sram_bytes for st in dataplane.status)
-    lines.append(ResourceLine(
-        "cache_status",
-        status_bytes,
-        f"{len(dataplane.status)} pipes x valid bit + 32-bit version",
-    ))
+    lines: List[ResourceLine] = [
+        ResourceLine(component, sram_bytes, detail)
+        for component, sram_bytes, detail in dataplane.layout.resource_lines()
+    ]
 
     stats = dataplane.stats
     lines.append(ResourceLine(

@@ -98,7 +98,13 @@ class NetCacheSwitch(PlainSwitch):
         for ported in result.generated:
             self._send_out(ported.port, ported.packet)
         if result.action is Action.FORWARD:
-            self._send_out(result.egress_port, pkt)
+            if result.delay:
+                # Multi-pass layouts serve large values over several
+                # recirculation passes; the reply leaves late by that much.
+                self.sim.schedule(result.delay, self._send_out,
+                                  result.egress_port, pkt)
+            else:
+                self._send_out(result.egress_port, pkt)
 
     def _ingress_port(self, pkt: Packet) -> int:
         """Best-effort ingress port (used only for pipe accounting)."""

@@ -320,6 +320,11 @@ class FastPathEngine:
         """Why the rack is ineligible for batched windows (None = clean)."""
         if _obs.ACTIVE is not None:
             return "observer"
+        # Static eligibility: the lanes kernels are verified byte-identical
+        # against the paper cache geometry only; any other layout runs the
+        # scalar event loop for the whole window.
+        if not self.switch.dataplane.layout.fastpath_eligible:
+            return "layout"
         sim = self.sim
         down = sim._down_nodes
         if self.tor_id in down:

@@ -46,6 +46,8 @@ class ClusterConfig:
     lookup_entries: int = 16 * 1024
     value_slots: int = 16 * 1024
     num_pipes: int = 2
+    #: cache geometry for the switch ("paper", "setassoc", "orbit").
+    layout: str = "paper"
     controller_update_interval: float = 0.01
     stats_interval: float = 1.0
     hot_threshold: int = 8
@@ -91,6 +93,7 @@ class Cluster:
                 entries=config.lookup_entries,
                 value_slots=config.value_slots,
                 stats=stats,
+                layout=config.layout,
             )
         else:
             self.switch = PlainSwitch(plan.tor_id)

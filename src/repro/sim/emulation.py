@@ -64,6 +64,8 @@ class EmulationConfig:
     #: (start, end) windows during which the controller is stalled: no
     #: update rounds and no statistics resets (missed 1-second clears).
     controller_stall_windows: tuple = ()
+    #: cache geometry for the switch ("paper", "setassoc", "orbit").
+    layout: str = "paper"
     seed: int = 0
 
     def __post_init__(self):
@@ -123,6 +125,7 @@ class DynamicsEmulator:
             plan.tor_id, num_pipes=2,
             ports_per_pipe=config.num_servers // 2 + 1,
             entries=entries, value_slots=entries,
+            layout=config.layout,
         )
         self.switch.dataplane.stats.set_hot_threshold(config.hot_threshold)
         # samples_per_step already models the data plane's sampler; a

@@ -69,6 +69,12 @@ class SimCoreConfig:
     client_rates: Optional[Tuple[float, ...]] = None
     #: give every client the default retry policy (seeded from ``seed``).
     retries: bool = False
+    #: cache geometry for the switch ("paper", "setassoc", "orbit").
+    #: Non-paper layouts are statically ineligible for the lanes engine
+    #: (fallback reason ``layout``), so the batched path runs pure scalar
+    #: — the differential harness then checks that the eligibility gate
+    #: itself does not perturb the run.
+    layout: str = "paper"
 
     def __post_init__(self):
         if self.num_clients < 1:
@@ -102,6 +108,7 @@ def build_rack(config: SimCoreConfig):
         hot_threshold=config.hot_threshold,
         stats_interval=config.stats_interval,
         seed=config.seed,
+        layout=config.layout,
     ))
     workload = Workload(WorkloadSpec(
         num_keys=config.num_keys, read_skew=config.skew,
@@ -184,8 +191,6 @@ def counters_snapshot(cluster: Cluster, client, trace: DeliveryTrace,
         "dataplane.updates_received": dp.updates_received,
         "dataplane.contents_version": dp.contents_version,
         "dataplane.cache_size": dp.cache_size(),
-        "lookup.hits": dp.lookup.table.hits,
-        "lookup.misses": dp.lookup.table.misses,
         "stats.reports": stats.reports,
         "stats.resets": stats.resets,
         "sampler.observed": stats.sampler.observed,
@@ -197,14 +202,13 @@ def counters_snapshot(cluster: Cluster, client, trace: DeliveryTrace,
         "cache.key_counters": sorted(
             (key.hex(), dp.counter_of(key)) for key in switch.cached_keys()),
     }
-    for pipe, (status, values) in enumerate(zip(dp.status, dp.values)):
-        snap[f"pipe{pipe}.valid.reads"] = status.valid.reads
-        snap[f"pipe{pipe}.valid.writes"] = status.valid.writes
-        snap[f"pipe{pipe}.invalidations"] = status.invalidations
-        snap[f"pipe{pipe}.updates_applied"] = status.updates_applied
-        snap[f"pipe{pipe}.updates_rejected"] = status.updates_rejected
-        snap[f"pipe{pipe}.value.reads"] = sum(a.reads for a in values.arrays)
-        snap[f"pipe{pipe}.value.writes"] = sum(a.writes for a in values.arrays)
+    # Layout-level registers and counters (for the paper geometry: the
+    # lookup-table hit/miss split and the per-pipe status/value registers,
+    # under the same key names as before the geometry seam), plus the
+    # layout's own SRAM self-audit so a mis-accounted geometry diverges
+    # from the truthful reference in a named field.
+    snap.update(dp.layout.snapshot_fields())
+    snap["layout.sram_audit"] = dp.layout.sram_audit()
     ctl = cluster.controller
     if ctl is not None:
         snap.update({

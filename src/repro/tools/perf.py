@@ -78,10 +78,12 @@ class PerfScenario:
     client_rates: Optional[Tuple[float, ...]] = None
     retries: bool = False
     #: "cluster" = discrete-event rack; "microbench" = direct statistics
-    #: hot-path loop (no simulator).  For microbenches ``duration`` scales
-    #: the packet budget instead of simulated seconds.
+    #: hot-path loop (no simulator); "simcore" = dual-path race;
+    #: "tournament" = the cache-geometry grid sweep.  For microbenches
+    #: ``duration`` scales the packet budget instead of simulated seconds.
     kind: str = "cluster"
-    #: microbench knobs (ignored by cluster scenarios).
+    #: microbench/tournament knobs (ignored by cluster scenarios; for the
+    #: tournament ``packets`` is the query budget per grid cell).
     packets: int = 0
     batch_size: int = 0
     reset_every: int = 0
@@ -127,6 +129,13 @@ SCENARIOS: Dict[str, PerfScenario] = {
             kind="simcore", write_ratio=0.05, num_clients=2,
             client_rates=(600_000.0, 400_000.0), retries=True,
             duration=10.0, stats_interval=1.0),
+        PerfScenario(
+            "tournament", "cache-geometry tournament: {paper, setassoc, "
+            "orbit} x zipf skew x value size x write ratio on identical "
+            "seeded streams (exact-replay grid, gated by "
+            "BENCH_geometry.json)",
+            kind="tournament", num_keys=2_000, cache_items=64,
+            lookup_entries=256, value_slots=256, packets=20_000),
     )
 }
 
@@ -146,6 +155,8 @@ def run_scenario(name: str, seed: int = 0,
         return _run_microbench(scenario, seed, metrics_out)
     if scenario.kind == "simcore":
         return _run_simcore(scenario, seed, metrics_out)
+    if scenario.kind == "tournament":
+        return _run_tournament(scenario, seed, metrics_out)
 
     workload = Workload(WorkloadSpec(
         num_keys=scenario.num_keys, read_skew=scenario.skew,
@@ -484,6 +495,52 @@ def _run_simcore(scenario: PerfScenario, seed: int,
     }
 
 
+# -- the cache-geometry tournament --------------------------------------------------
+
+
+def _run_tournament(scenario: PerfScenario, seed: int,
+                    metrics_out: Optional[str]) -> Dict:
+    """Sweep the geometry grid (see :mod:`repro.tools.tournament`).
+
+    Every cell is a pure function of the seed — layouts in the same cell
+    see byte-identical query streams — so the whole ``results`` section
+    replays exactly and is gated with equality.  ``--metrics-out`` writes
+    the per-cell grid as CSV instead of the obs exporters (the tournament
+    drives the data plane directly, without a simulator)."""
+    from repro.tools.tournament import cells_to_csv, run_tournament
+
+    wall_start = time.perf_counter()
+    result = run_tournament(
+        num_keys=scenario.num_keys, cache_items=scenario.cache_items,
+        lookup_entries=scenario.lookup_entries,
+        value_slots=scenario.value_slots, packets=scenario.packets,
+        seed=seed)
+    elapsed = time.perf_counter() - wall_start
+    if metrics_out:
+        with open(metrics_out, "w") as fh:
+            fh.write(cells_to_csv(result["cells"]))
+    cells = len(result["cells"])
+    total = cells * scenario.packets
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "scenario": scenario.name,
+        "seed": seed,
+        "config": dataclasses.asdict(scenario),
+        "results": {
+            "cells": result["cells"],
+            **result["summary"],
+        },
+        "wall": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "elapsed_seconds": elapsed,
+            "packets_per_second": total / elapsed if elapsed > 0 else 0.0,
+            "python": platform.python_version(),
+            "notes": (f"{cells} grid cells x {scenario.packets} queries "
+                      f"in {elapsed:.1f}s"),
+        },
+    }
+
+
 def snapshot_to_json(snapshot: Dict) -> str:
     return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
 
@@ -500,6 +557,8 @@ def render_snapshot(snapshot: Dict) -> str:
         return _render_microbench(snapshot)
     if isinstance(config, dict) and config.get("kind") == "simcore":
         return _render_simcore(snapshot)
+    if isinstance(config, dict) and config.get("kind") == "tournament":
+        return _render_tournament(snapshot)
     r = snapshot["results"]
     lines = [
         f"scenario {snapshot['scenario']} seed={snapshot['seed']} "
@@ -576,6 +635,15 @@ def _render_simcore(snapshot: Dict) -> str:
     return "\n".join(lines)
 
 
+def _render_tournament(snapshot: Dict) -> str:
+    from repro.tools.tournament import render
+
+    r = snapshot["results"]
+    header = (f"scenario {snapshot['scenario']} seed={snapshot['seed']} "
+              f"cells={r['grid_cells']}")
+    return header + "\n" + render(r["cells"], r)
+
+
 # -- regression gate --------------------------------------------------------------
 
 #: (path into the snapshot, direction) pairs guarded by --compare.
@@ -618,6 +686,23 @@ SIMCORE_GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
 )
 
 
+#: the tournament grid is a pure function of the seed: the aggregate
+#: metric surface must replay exactly, and the divergence counters pin
+#: that the non-paper geometries really do trade hit ratio for their
+#: structural properties (>0 divergent cells is asserted by tests, the
+#: gate pins the exact count).
+TOURNAMENT_GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("results", "grid_cells"), "equal"),
+    (("results", "layouts_completed"), "equal"),
+    (("results", "paper_mean_hit_ratio"), "equal"),
+    (("results", "setassoc_mean_hit_ratio"), "equal"),
+    (("results", "orbit_mean_hit_ratio"), "equal"),
+    (("results", "setassoc_divergent_cells"), "equal"),
+    (("results", "orbit_divergent_cells"), "equal"),
+    (("results", "sram_all_ok"), "equal"),
+)
+
+
 def _guarded_metrics(snapshot: Dict) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
     """The metric set a snapshot is gated on, by its scenario kind.
 
@@ -630,6 +715,8 @@ def _guarded_metrics(snapshot: Dict) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
         return MICROBENCH_GUARDED_METRICS
     if kind == "simcore":
         return SIMCORE_GUARDED_METRICS
+    if kind == "tournament":
+        return TOURNAMENT_GUARDED_METRICS
     return GUARDED_METRICS
 
 

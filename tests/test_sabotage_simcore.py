@@ -22,6 +22,7 @@ import re
 import numpy as np
 import pytest
 
+from repro.core import geometry
 from repro.core.status import CacheStatusModule
 from repro.net import fastpath
 from repro.net.trace import DeliveryTrace
@@ -148,6 +149,23 @@ class TestBehavioralSabotage:
         diffs = diff_snapshots(scalar, bad)
         assert len(diffs) == 1, diffs
         assert re.match(r"pipe\d+\.valid\.writes:", diffs[0]), diffs
+
+    def test_sram_overcommit_layout_flags_the_audit(self, monkeypatch):
+        # A mis-accounted cache geometry: the layout installs real value
+        # bytes but declares zero SRAM capacity for them.  Nothing about
+        # packet processing changes, so every traffic counter matches —
+        # only the layout's self-audit ("used/declared:verdict", captured
+        # as a snapshot field) can catch the lie, and it must name it.
+        cfg = tiny()
+        scalar = run_scalar(cfg)
+        assert scalar["layout.sram_audit"].endswith(":ok")
+        monkeypatch.setattr(geometry.PaperLayout, "value_capacity_bytes",
+                            lambda self: 0)
+        bad = run_batched(cfg)
+        assert bad["layout.sram_audit"].endswith(":OVER")
+        diffs = diff_snapshots(scalar, bad)
+        assert len(diffs) == 1, diffs
+        assert diffs[0].split(":")[0] == "layout.sram_audit", diffs
 
     def test_one_dropped_retry_timer_flags_retransmissions(self):
         # Cancel the first retry timer the engine registers: the scalar
