@@ -95,6 +95,12 @@ SWITCH_LATENCY = 0.4e-6
 #: Storage-server base service time (seconds).
 SERVER_SERVICE_TIME = 4e-6
 
+#: Modeled latency of one extra recirculation pass through the pipeline
+#: (Tofino recirculation adds on the order of a few hundred nanoseconds).
+#: Shared by the cache layouts (multi-pass serves surface it as reply
+#: delay) and the lanes engine (per-record reply-delay lanes).
+RECIRCULATION_DELAY = 400e-9
+
 # ---------------------------------------------------------------------------
 # Controller defaults (§4.3, §7.4)
 # ---------------------------------------------------------------------------

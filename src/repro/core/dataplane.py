@@ -25,11 +25,11 @@ from repro.constants import (
     LOOKUP_TABLE_ENTRIES,
     NUM_PIPES,
     NUM_VALUE_STAGES,
+    RECIRCULATION_DELAY,
     VALUE_ARRAY_SLOTS,
     VALUE_SLOT_SIZE,
 )
 from repro.core.geometry import (
-    RECIRCULATION_DELAY,
     CacheLayout,
     LayoutHit,
     PaperLayout,
@@ -81,6 +81,10 @@ class ReadBatchResult:
     hit_mask: np.ndarray
     #: ``(position, key)`` hot-key reports, positions indexing the batch.
     hot: List
+    #: per-hit extra reply latency in hit-stream order (recirculation
+    #: passes, ``extra_passes * RECIRCULATION_DELAY``); None for
+    #: single-pass layouts.
+    hit_delays: Optional[np.ndarray] = None
 
 
 class NetCacheDataplane:
@@ -228,16 +232,18 @@ class NetCacheDataplane:
     def _classify_reads(self, keys: Sequence[bytes], read_values: bool):
         """Classify a read stream against the cache layout.
 
-        Returns ``(hit_mask, hit_indexes, miss_keys, miss_pos)``; with
-        *read_values* each valid hit also reads its value registers, which
-        is the accounting difference between a real Get (:meth:`_serve_hit`)
-        and a statistics-only observation (:meth:`observe_read`).
+        Returns ``(hit_mask, hit_indexes, miss_keys, miss_pos,
+        hit_delays)``; with *read_values* each valid hit also reads its
+        value registers, which is the accounting difference between a
+        real Get (:meth:`_serve_hit`) and a statistics-only observation
+        (:meth:`observe_read`).  ``hit_delays`` carries each hit's extra
+        reply latency (multi-pass layouts) or None.
         """
-        hit_mask, hit_indexes, miss_keys, miss_pos = \
+        hit_mask, hit_indexes, miss_keys, miss_pos, hit_delays = \
             self.layout.classify_reads(keys, read_values)
         self.cache_hits += len(hit_indexes)
         self.cache_misses += len(miss_keys)
-        return hit_mask, hit_indexes, miss_keys, miss_pos
+        return hit_mask, hit_indexes, miss_keys, miss_pos, hit_delays
 
     def observe_reads(self, keys: Sequence[bytes]) -> List[bytes]:
         """Batch :meth:`observe_read`: returns the keys to report hot.
@@ -254,7 +260,7 @@ class NetCacheDataplane:
         if not keys:
             return []
         stats = self.stats
-        hit_mask, hit_indexes, miss_keys, _ = \
+        hit_mask, hit_indexes, miss_keys, _, _ = \
             self._classify_reads(keys, read_values=False)
         decisions = stats.sample_batch(keys)
         if hit_indexes:
@@ -280,7 +286,7 @@ class NetCacheDataplane:
         if not keys:
             return ReadBatchResult(np.zeros(0, dtype=bool), [])
         stats = self.stats
-        hit_mask, hit_indexes, miss_keys, miss_pos = \
+        hit_mask, hit_indexes, miss_keys, miss_pos, hit_delays = \
             self._classify_reads(keys, read_values=True)
         decisions = stats.sample_batch(keys)
         if hit_indexes:
@@ -291,7 +297,7 @@ class NetCacheDataplane:
                 miss_keys, decisions=decisions[~hit_mask],
                 with_positions=True)
             hot = [(miss_pos[p], key) for p, key in reported]
-        return ReadBatchResult(hit_mask, hot)
+        return ReadBatchResult(hit_mask, hot, hit_delays)
 
     def process_write_batch(self, pkts: Sequence[Packet]) \
             -> List[PipelineResult]:

@@ -44,6 +44,7 @@ from repro.constants import (
     LOOKUP_TABLE_ENTRIES,
     NUM_PIPES,
     NUM_VALUE_STAGES,
+    RECIRCULATION_DELAY,
     VALUE_ARRAY_SLOTS,
     VALUE_SLOT_SIZE,
 )
@@ -54,9 +55,20 @@ from repro.core.status import CacheStatusModule
 from repro.core.values import ValueStore
 from repro.errors import ConfigurationError
 
-#: modeled latency of one extra recirculation pass through the pipeline
-#: (Tofino recirculation adds on the order of a few hundred nanoseconds).
-RECIRCULATION_DELAY = 400e-9
+__all__ = [
+    "RECIRCULATION_DELAY",
+    "CacheLayout",
+    "LayoutHit",
+    "PaperLayout",
+    "SetAssocLayout",
+    "OrbitLayout",
+    "LAYOUTS",
+    "make_layout",
+    "AdmissionPolicy",
+    "SampleEvictPolicy",
+    "UpdateBudget",
+    "run_policy",
+]
 
 
 class LayoutHit:
@@ -86,9 +98,10 @@ class CacheLayout:
 
     #: registry name ("paper", "setassoc", "orbit").
     name = "abstract"
-    #: the batched lanes engine is verified byte-identical against the
-    #: paper geometry only; other layouts scalarize (fallback reason
-    #: ``layout``).
+    #: layouts opt in per class once their batch probe is proven
+    #: byte-identical to N sequential ``lookup_hit`` calls (goldens +
+    #: Hypothesis differentials); a layout that stays False scalarizes
+    #: every window under the attributed fallback reason ``layout``.
     fastpath_eligible = False
 
     # -- data plane ---------------------------------------------------------------
@@ -111,8 +124,17 @@ class CacheLayout:
         raise NotImplementedError
 
     def classify_reads(self, keys: Sequence[bytes], read_values: bool):
-        """Classify a read stream; ``(hit_mask, hit_indexes, miss_keys,
-        miss_pos)`` exactly as the scalar path would produce them."""
+        """Classify a read stream; the vectorized batch-probe contract.
+
+        Returns ``(hit_mask, hit_indexes, miss_keys, miss_pos,
+        hit_delays)`` exactly as N sequential :meth:`lookup_hit` calls
+        would produce them — same hit/miss split, same way/segment
+        choice, same per-register accounting totals.  ``hit_delays`` is
+        None for single-pass layouts, or a float64 array (one entry per
+        hit, in hit-stream order) of extra reply latency
+        (``extra_passes * RECIRCULATION_DELAY``) for multi-pass layouts;
+        the lanes engine carries it as a per-record reply-delay lane
+        instead of a scalar ``sim.schedule`` per hit."""
         raise NotImplementedError
 
     # -- control plane ------------------------------------------------------------
@@ -301,7 +323,7 @@ class PaperLayout(CacheLayout):
                     continue
             miss_keys.append(key)
             miss_pos.append(j)
-        return hit_mask, hit_indexes, miss_keys, miss_pos
+        return hit_mask, hit_indexes, miss_keys, miss_pos, None
 
     # -- control plane ------------------------------------------------------------
 
@@ -458,10 +480,17 @@ class SetAssocLayout(CacheLayout):
     Trade-offs this layout makes measurable: no fragmentation and O(1)
     install, but hot keys colliding in one set exceed its ways and become
     uncacheable, and every value pays the fixed way width.
+
+    The batch probe (:meth:`classify_reads`) memoizes the set-index +
+    16-bit-fingerprint walk per distinct key and applies counter totals
+    with numpy kernels; in-set displacement stays a control-plane event
+    (``install``/``evict`` invalidate the memo and bump the dataplane's
+    ``contents_version``, which flushes lanes), so the steady-state read
+    stream runs inside the lanes engine.
     """
 
     name = "setassoc"
-    fastpath_eligible = False
+    fastpath_eligible = True
 
     def __init__(self,
                  num_pipes: int = NUM_PIPES,
@@ -490,6 +519,10 @@ class SetAssocLayout(CacheLayout):
         self.version = RegisterArray("setassoc/version", n, 4)
         self.value = RegisterArray("setassoc/value", n, self.way_bytes)
         self._index_of: Dict[bytes, int] = {}
+        #: key -> (slot or -1, fingerprint mismatches): memoized probe
+        #: results for the batch kernel; a pure function of the tag state,
+        #: cleared whenever install/evict mutates fingerprints or keys.
+        self._probe_cache: Dict[bytes, Tuple[int, int]] = {}
         # Telemetry.
         self.lookup_hits = 0
         self.lookup_misses = 0
@@ -512,6 +545,22 @@ class SetAssocLayout(CacheLayout):
                 return idx
             self.fingerprint_mismatches += 1
         return None
+
+    def _probe(self, key: bytes) -> Tuple[int, int]:
+        """:meth:`_slot_of` without counter side effects: ``(slot or -1,
+        fingerprint mismatches the walk would have counted)``."""
+        h = _set_hash(key)
+        base = (h % self.num_sets) * self.ways
+        fp = (h >> 16) & 0xFFFF
+        mismatches = 0
+        for way in range(self.ways):
+            idx = base + way
+            if self._fp[idx] != fp:
+                continue
+            if self._keys[idx] == key:
+                return idx, mismatches
+            mismatches += 1
+        return -1, mismatches
 
     # -- data plane ---------------------------------------------------------------
 
@@ -556,21 +605,46 @@ class SetAssocLayout(CacheLayout):
         return True
 
     def classify_reads(self, keys: Sequence[bytes], read_values: bool):
-        hit_mask = np.zeros(len(keys), dtype=bool)
-        hit_indexes: List[int] = []
-        miss_keys: List[bytes] = []
-        miss_pos: List[int] = []
+        """Vectorized set-index + fingerprint batch probe.
+
+        Equivalent to looping :meth:`lookup_hit` (plus one way-value read
+        per valid hit when *read_values*): the per-key walk is memoized in
+        ``_probe_cache`` and every counter — lookup hits/misses,
+        fingerprint mismatches, valid-bit reads, per-way hit counters,
+        value-register reads — receives the same totals numpy-side.
+        """
+        n = len(keys)
+        hit_mask = np.zeros(n, dtype=bool)
+        slots = np.empty(n, dtype=np.int64)
+        mismatches = np.empty(n, dtype=np.int64)
+        cache = self._probe_cache
+        probe = self._probe
         for j, key in enumerate(keys):
-            hit = self.lookup_hit(key)
-            if hit is not None:
-                hit_mask[j] = True
-                hit_indexes.append(hit.key_index)
-                if read_values:
-                    self.value.read(hit.key_index)
-                continue
-            miss_keys.append(key)
-            miss_pos.append(j)
-        return hit_mask, hit_indexes, miss_keys, miss_pos
+            cached = cache.get(key)
+            if cached is None:
+                cached = cache[key] = probe(key)
+            slots[j] = cached[0]
+            mismatches[j] = cached[1]
+        self.fingerprint_mismatches += int(mismatches.sum())
+        found_pos = np.flatnonzero(slots >= 0)
+        nf = len(found_pos)
+        self.lookup_hits += nf
+        self.lookup_misses += n - nf
+        found_slots = slots[found_pos]
+        valid_vals = self.valid.read_int_batch(found_slots)
+        valid_sel = valid_vals != 0
+        hit_pos = found_pos[valid_sel]
+        hit_slots = found_slots[valid_sel]
+        hit_mask[hit_pos] = True
+        np.add.at(self._way_hits, hit_slots, 1)
+        if read_values:
+            # The scalar path reads (and discards) each valid hit's way
+            # value; only the register accounting is observable here.
+            self.value.note_batch_reads(len(hit_slots))
+        hit_indexes = hit_slots.tolist()
+        miss_pos = np.flatnonzero(~hit_mask).tolist()
+        miss_keys = [keys[p] for p in miss_pos]
+        return hit_mask, hit_indexes, miss_keys, miss_pos, None
 
     # -- control plane ------------------------------------------------------------
 
@@ -612,6 +686,7 @@ class SetAssocLayout(CacheLayout):
         self._ports[free] = egress_port
         self._way_hits[free] = 0
         self._index_of[key] = free
+        self._probe_cache.clear()
         self.version.write_int(free, 0)
         self.value.write(free, value)
         self.valid.write_int(free, 1)
@@ -622,6 +697,7 @@ class SetAssocLayout(CacheLayout):
         self._fp[idx] = -1
         self._keys[idx] = None
         self._way_hits[idx] = 0
+        self._probe_cache.clear()
         self.valid.write_int(idx, 0)
         self.version.write_int(idx, 0)
         self.value.write(idx, b"")
@@ -684,6 +760,7 @@ class SetAssocLayout(CacheLayout):
         return {
             "lookup.hits": self.lookup_hits,
             "lookup.misses": self.lookup_misses,
+            "layout.fingerprint_mismatches": self.fingerprint_mismatches,
             "layout.value.reads": self.value.reads,
             "layout.value.writes": self.value.writes,
             "layout.valid.reads": self.valid.reads,
@@ -708,10 +785,18 @@ class OrbitLayout(CacheLayout):
     fragmentation entirely — but every extra pass costs recirculation
     latency (:data:`RECIRCULATION_DELAY`), surfaced by the data plane as
     reply delay.
+
+    The batch probe (:meth:`classify_reads`) resolves the segment-pool
+    entries in one pass and returns the per-hit recirculation delays as
+    a float64 lane (``extra_passes * RECIRCULATION_DELAY``) that the
+    lanes engine folds into each reply's delivery time — the scalar
+    path's ``sim.schedule(delay, ...)`` per multi-pass hit, without the
+    per-packet event.  Segment churn (install/evict) stays a
+    control-plane event that flushes lanes via ``contents_version``.
     """
 
     name = "orbit"
-    fastpath_eligible = False
+    fastpath_eligible = True
 
     def __init__(self,
                  num_pipes: int = NUM_PIPES,
@@ -806,21 +891,46 @@ class OrbitLayout(CacheLayout):
             self.segments.write(seg, value[i * sb:(i + 1) * sb])
 
     def classify_reads(self, keys: Sequence[bytes], read_values: bool):
-        hit_mask = np.zeros(len(keys), dtype=bool)
-        hit_indexes: List[int] = []
-        miss_keys: List[bytes] = []
-        miss_pos: List[int] = []
+        """Vectorized segment-pool batch probe.
+
+        Equivalent to looping :meth:`lookup_hit` (plus one
+        :meth:`read_value` per valid hit when *read_values*): same
+        hit/miss split, same valid-bit reads, same recirculation and
+        segment-read totals.  ``hit_delays[i]`` is the i-th hit's extra
+        reply latency, ``(segments - 1) * RECIRCULATION_DELAY`` — the
+        exact float the scalar serve would pass to ``sim.schedule``.
+        """
+        n = len(keys)
+        hit_mask = np.zeros(n, dtype=bool)
+        entries = self._entries
+        found_pos: List[int] = []
+        found_idx: List[int] = []
+        found_segs: List[int] = []
         for j, key in enumerate(keys):
-            hit = self.lookup_hit(key)
-            if hit is not None:
-                hit_mask[j] = True
-                hit_indexes.append(hit.key_index)
-                if read_values:
-                    self.read_value(hit)
-                continue
-            miss_keys.append(key)
-            miss_pos.append(j)
-        return hit_mask, hit_indexes, miss_keys, miss_pos
+            entry = entries.get(key)
+            if entry is not None:
+                found_pos.append(j)
+                found_idx.append(entry[0])
+                found_segs.append(len(entry[2]))
+        nf = len(found_pos)
+        self.lookup_hits += nf
+        self.lookup_misses += n - nf
+        idx_arr = np.asarray(found_idx, dtype=np.int64)
+        valid_vals = self.valid.read_int_batch(idx_arr)
+        valid_sel = valid_vals != 0
+        pos_arr = np.asarray(found_pos, dtype=np.int64)
+        hit_mask[pos_arr[valid_sel]] = True
+        passes = np.asarray(found_segs, dtype=np.int64)[valid_sel] - 1
+        if read_values:
+            # The scalar path joins (and discards) every segment of each
+            # valid hit; only the pool accounting is observable here.
+            self.recirculations += int(passes.sum())
+            self.segments.note_batch_reads(int((passes + 1).sum()))
+        hit_indexes = idx_arr[valid_sel].tolist()
+        miss_pos = np.flatnonzero(~hit_mask).tolist()
+        miss_keys = [keys[p] for p in miss_pos]
+        hit_delays = passes.astype(np.float64) * RECIRCULATION_DELAY
+        return hit_mask, hit_indexes, miss_keys, miss_pos, hit_delays
 
     # -- control plane ------------------------------------------------------------
 

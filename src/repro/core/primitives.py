@@ -85,6 +85,33 @@ class RegisterArray:
             return 0
         return int(self._ints[index])
 
+    def read_int_batch(self, indexes) -> np.ndarray:
+        """Read the integer slots at *indexes* (with repeats).
+
+        Equivalent to calling :meth:`read_int` once per index — same
+        epoch gating, same ``reads`` accounting — as one numpy gather.
+        """
+        idx = np.asarray(indexes, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if idx.min() < 0 or idx.max() >= self.slots:
+            raise IndexError(f"{self.name}: batch index out of [0, {self.slots})")
+        self.reads += idx.size
+        return np.where(self._stamps[idx] == self._epoch,
+                        self._ints[idx].astype(np.int64), 0)
+
+    def note_batch_reads(self, count: int) -> None:
+        """Account *count* byte-slot reads without materializing them.
+
+        Batch kernels that classify a stream read each hit's value slot
+        only for the register accounting (the scalar loop discards the
+        bytes too); this keeps the ``reads`` counter byte-identical
+        without the per-slot gather.
+        """
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        self.reads += count
+
     def write_int(self, index: int, value: int) -> None:
         self._check_index(index)
         if not 0 <= value <= self.max_int:

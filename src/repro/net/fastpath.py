@@ -48,6 +48,18 @@ for the statistics path):
   run as ordinary events, while the original packet keeps riding the
   lanes and its reply is resolved per-entry.  Healthy traffic whose reply
   beats the conservative deadline never leaves the bulk path.
+* **Geometry lanes.** All three cache layouts run natively: the switch
+  classification consumes each layout's vectorized batch probe
+  (``CacheLayout.classify_reads`` — set-index + fingerprint kernels for
+  ``setassoc``, segment-pool probes for ``orbit``) instead of requiring
+  ``PaperLayout``.  Orbit's multi-pass serves come back as a per-record
+  reply-delay array (``extra_passes * RECIRCULATION_DELAY``) folded into
+  the client-reply lane's delivery times — the scalar path's delayed
+  ``_send_out`` event, without the event.  Layout churn (in-set
+  displacement, segment churn) stays control-plane: installs/evicts are
+  events, events bound every flush, and the ``contents_version``-keyed
+  item mask invalidates alongside them — mirroring how cache-hit writes
+  are ordering barriers.
 * **Events stay authoritative.** Anything that is not lane traffic —
   cache-update coherence, controller RPCs, retransmissions, hot-key
   reports — runs as ordinary events.  The engine only flushes lane
@@ -320,9 +332,13 @@ class FastPathEngine:
         """Why the rack is ineligible for batched windows (None = clean)."""
         if _obs.ACTIVE is not None:
             return "observer"
-        # Static eligibility: the lanes kernels are verified byte-identical
-        # against the paper cache geometry only; any other layout runs the
-        # scalar event loop for the whole window.
+        # Static eligibility: per-layout opt-in.  A layout is eligible once
+        # its batch probe (classify_reads) is proven byte-identical to the
+        # scalar lookup loop — paper, setassoc, and orbit all are; a layout
+        # that opts out scalarizes every window under the attributed
+        # ``layout`` reason.  Layout-level churn (in-set displacement,
+        # segment churn) needs no reason here: installs and evicts are
+        # control-plane events, and events bound every lane flush.
         if not self.switch.dataplane.layout.fastpath_eligible:
             return "layout"
         sim = self.sim
@@ -981,7 +997,8 @@ class FastPathEngine:
                             rop=np.full(nh, _GET_REPLY, np.int16))
                 if idx is not None:
                     cols["idx"] = idx[hit]
-                self._cli_rep.push(t[hit] + clink.latency, **cols)
+                self._push_hit_replies(t[hit], res.hit_delays,
+                                       clink.latency, cols)
             if nh < nr:
                 miss_pos = rpos[~hit]
         live_pos: List[int] = []
@@ -1029,6 +1046,32 @@ class FastPathEngine:
                 cols["idx"] = idx_all[ppos]
             self._srv_arr[sid].push(t_all[ppos] + link.latency, **cols)
 
+    def _push_hit_replies(self, t_hit: np.ndarray,
+                          delays: Optional[np.ndarray],
+                          latency: float, cols: dict) -> None:
+        """Push cache-hit replies onto the client-reply lane, folding any
+        per-record recirculation delay into the delivery times.
+
+        The scalar path schedules a delayed ``_send_out`` event per
+        multi-pass hit, so its reply lands at ``(t + delay) + latency``
+        (left-associated floats); the vectorized form reproduces that
+        exactly.  Delays can reorder the hit stream, and the lane's
+        ``take`` binary-searches each chunk, so a delayed chunk is stable-
+        sorted by final delivery time before the push (stable = hit-stream
+        order on exact float ties, matching the scalar heap's scheduling
+        order).  All-zero delay arrays use the plain path: with positive
+        times ``(t + 0.0) + latency == t + latency`` bit-for-bit.
+        """
+        if delays is None or not delays.any():
+            self._cli_rep.push(t_hit + latency, **cols)
+            return
+        rt = (t_hit + delays) + latency
+        order = np.argsort(rt, kind="stable")
+        self._cli_rep.push(
+            rt[order],
+            **{k: (v[order] if isinstance(v, np.ndarray) else v)
+               for k, v in cols.items()})
+
     def _switch_arrival_reads(self, chunk, start: int, stop: int) -> None:
         sim = self.sim
         trace = self._trace
@@ -1073,7 +1116,8 @@ class FastPathEngine:
                         rop=np.full(nh, _GET_REPLY, np.int16))
             if idx is not None:
                 cols["idx"] = idx[hit]
-            self._cli_rep.push(t[hit] + clink.latency, **cols)
+            self._push_hit_replies(t[hit], res.hit_delays,
+                                   clink.latency, cols)
         if nh < n:
             miss = ~hit
             mt, mi = t[miss], items[miss]

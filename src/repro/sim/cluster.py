@@ -17,6 +17,7 @@ from repro.client.workload import Workload, WorkloadSpec
 from repro.constants import (
     DEFAULT_CACHE_ITEMS,
     LINK_LATENCY,
+    NUM_VALUE_STAGES,
     SERVER_RATE,
 )
 from repro.core.controller import CacheController
@@ -48,6 +49,10 @@ class ClusterConfig:
     num_pipes: int = 2
     #: cache geometry for the switch ("paper", "setassoc", "orbit").
     layout: str = "paper"
+    #: value stages available to the layout.  Fewer stages shrink a
+    #: segment (stages x slot bytes), which is how packet-level Orbit runs
+    #: exercise multi-pass serves within the wire format's value cap.
+    num_value_stages: int = NUM_VALUE_STAGES
     controller_update_interval: float = 0.01
     stats_interval: float = 1.0
     hot_threshold: int = 8
@@ -92,6 +97,7 @@ class Cluster:
                                    // config.num_pipes + 1),
                 entries=config.lookup_entries,
                 value_slots=config.value_slots,
+                num_value_stages=config.num_value_stages,
                 stats=stats,
                 layout=config.layout,
             )

@@ -64,8 +64,15 @@ class EmulationConfig:
     #: (start, end) windows during which the controller is stalled: no
     #: update rounds and no statistics resets (missed 1-second clears).
     controller_stall_windows: tuple = ()
-    #: cache geometry for the switch ("paper", "setassoc", "orbit").
+    #: cache geometry for the switch ("paper", "setassoc", "orbit").  The
+    #: sampled statistics stream is fed through ``observe_reads``, which
+    #: rides every layout's vectorized batch probe (``classify_reads``) —
+    #: non-paper geometries run the emulation natively, not via a scalar
+    #: per-key loop.
     layout: str = "paper"
+    #: value stages for the switch (fewer stages narrow an Orbit segment,
+    #: mirroring the :class:`~repro.sim.cluster.ClusterConfig` knob).
+    num_value_stages: int = 8
     seed: int = 0
 
     def __post_init__(self):
@@ -125,6 +132,7 @@ class DynamicsEmulator:
             plan.tor_id, num_pipes=2,
             ports_per_pipe=config.num_servers // 2 + 1,
             entries=entries, value_slots=entries,
+            num_value_stages=config.num_value_stages,
             layout=config.layout,
         )
         self.switch.dataplane.stats.set_hot_threshold(config.hot_threshold)

@@ -70,11 +70,18 @@ class SimCoreConfig:
     #: give every client the default retry policy (seeded from ``seed``).
     retries: bool = False
     #: cache geometry for the switch ("paper", "setassoc", "orbit").
-    #: Non-paper layouts are statically ineligible for the lanes engine
-    #: (fallback reason ``layout``), so the batched path runs pure scalar
-    #: — the differential harness then checks that the eligibility gate
-    #: itself does not perturb the run.
+    #: All three layouts run natively under the lanes engine through
+    #: their vectorized batch probes (``CacheLayout.classify_reads``);
+    #: the differential harness holds each one byte-identical to the
+    #: scalar loop, including Orbit's per-hit recirculation delays.
     layout: str = "paper"
+    #: bytes per stored value (threaded into the workload).  Values wider
+    #: than one Orbit segment serve in multiple recirculation passes;
+    #: values wider than a layout's ``max_value_size`` are uncacheable.
+    value_size: int = 128
+    #: value stages for the switch (fewer stages -> narrower Orbit
+    #: segments -> multi-pass serves that still fit the wire format).
+    num_value_stages: int = 8
 
     def __post_init__(self):
         if self.num_clients < 1:
@@ -109,10 +116,12 @@ def build_rack(config: SimCoreConfig):
         stats_interval=config.stats_interval,
         seed=config.seed,
         layout=config.layout,
+        num_value_stages=config.num_value_stages,
     ))
     workload = Workload(WorkloadSpec(
         num_keys=config.num_keys, read_skew=config.skew,
-        write_ratio=config.write_ratio, seed=config.seed,
+        write_ratio=config.write_ratio, value_size=config.value_size,
+        seed=config.seed,
     ))
     cluster.load_workload_data(workload)
     if config.warm:
@@ -249,6 +258,13 @@ def counters_snapshot(cluster: Cluster, client, trace: DeliveryTrace,
         snap[f"link{node_id}.dropped"] = link.dropped
         snap[f"link{node_id}.duplicated"] = link.duplicated
         snap[f"link{node_id}.reordered"] = link.reordered
+    if engine is not None:
+        # Engine-side telemetry (batched runs only, excluded from the
+        # scalar/batched diff): lane coverage and attributed fallbacks,
+        # surfaced in perf reports so a silent full-scalarization
+        # regression fails the bench gate instead of just slowing it.
+        snap["fastpath.coverage"] = engine.coverage()
+        snap["fastpath.fallbacks"] = dict(engine.fallback_reasons)
     return snap
 
 
@@ -256,7 +272,10 @@ def diff_snapshots(a: Dict, b: Dict) -> List[str]:
     """Human-readable list of unequal fields (empty = byte-identical)."""
     out = []
     for key in sorted(set(a) | set(b)):
-        if key == "ff_epochs":  # runner metadata, batched-only
+        # Runner/engine metadata, batched-only: fast-forward epoch count
+        # and lane-coverage telemetry are about *how* a run executed, not
+        # what it computed, so they never participate in equivalence.
+        if key == "ff_epochs" or key.startswith("fastpath."):
             continue
         va, vb = a.get(key), b.get(key)
         if key.endswith(".latencies"):

@@ -23,9 +23,13 @@ requiring bit-identical reports.  ``kind="simcore"`` (the ``simcore``
 scenario) runs one whole rack scenario under *both* simulator paths — the
 batched lanes engine (:mod:`repro.net.fastpath`) and the scalar event
 loop — and requires every gated counter, per-key register, and the
-delivery-trace digest to match byte-for-byte.  Deterministic counters of
-both kinds are gated with exact equality; measured speedups land in the
-``wall`` section (see docs/PERFORMANCE.md).
+delivery-trace digest to match byte-for-byte.  ``kind="georace"`` (the
+``geometry10m`` scenario) repeats that dual-path race once per non-paper
+cache geometry at full scale, additionally gating the engine's fast-path
+coverage and its attributed fallback counters so a geometry that silently
+falls back to the scalar loop fails the compare.  Deterministic counters
+of every kind are gated with exact equality; measured speedups land in
+the ``wall`` section (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -77,10 +81,17 @@ class PerfScenario:
     num_clients: int = 1
     client_rates: Optional[Tuple[float, ...]] = None
     retries: bool = False
+    #: cache geometry for simcore scenarios ("paper", "setassoc", "orbit")
+    #: and value stages for the switch (fewer stages narrow an Orbit
+    #: segment, forcing multi-pass serves inside the wire format's cap).
+    layout: str = "paper"
+    num_value_stages: int = 8
     #: "cluster" = discrete-event rack; "microbench" = direct statistics
     #: hot-path loop (no simulator); "simcore" = dual-path race;
-    #: "tournament" = the cache-geometry grid sweep.  For microbenches
-    #: ``duration`` scales the packet budget instead of simulated seconds.
+    #: "tournament" = the cache-geometry grid sweep; "georace" = the
+    #: simcore dual-path race repeated per non-paper geometry.  For
+    #: microbenches ``duration`` scales the packet budget instead of
+    #: simulated seconds.
     kind: str = "cluster"
     #: microbench/tournament knobs (ignored by cluster scenarios; for the
     #: tournament ``packets`` is the query budget per grid cell).
@@ -136,8 +147,27 @@ SCENARIOS: Dict[str, PerfScenario] = {
             "BENCH_geometry.json)",
             kind="tournament", num_keys=2_000, cache_items=64,
             lookup_entries=256, value_slots=256, packets=20_000),
+        PerfScenario(
+            "geometry10m", "geometry race: setassoc and orbit each run a "
+            "10M-packet rack natively under the lanes engine, raced "
+            "against the scalar event loop (byte-identical counters and "
+            "full fast-path coverage required; CI asserts >=3x wall "
+            "speedup per layout)",
+            kind="georace", rate=1_000_000.0, duration=10.0,
+            stats_interval=1.0),
     )
 }
+
+#: the georace cells: each non-paper geometry raced dual-path at the
+#: scenario's full packet budget.  Orbit runs 96-byte values on 2-stage
+#: (32-byte) segments — three segments per value, so every cache hit
+#: takes two recirculation passes and the per-record reply-delay lane is
+#: exercised at scale while staying inside the wire format's 128-byte
+#: value cap.
+GEORACE_CELLS: Tuple[Dict[str, object], ...] = (
+    {"layout": "setassoc", "value_size": 128, "num_value_stages": 8},
+    {"layout": "orbit", "value_size": 96, "num_value_stages": 2},
+)
 
 
 def run_scenario(name: str, seed: int = 0,
@@ -157,6 +187,8 @@ def run_scenario(name: str, seed: int = 0,
         return _run_simcore(scenario, seed, metrics_out)
     if scenario.kind == "tournament":
         return _run_tournament(scenario, seed, metrics_out)
+    if scenario.kind == "georace":
+        return _run_georace(scenario, seed, metrics_out)
 
     workload = Workload(WorkloadSpec(
         num_keys=scenario.num_keys, read_skew=scenario.skew,
@@ -404,6 +436,38 @@ def _run_microbench(scenario: PerfScenario, seed: int,
 # -- the dual-path simulator-core benchmark ----------------------------------------
 
 
+def _simcore_config(scenario: PerfScenario, seed: int):
+    """The :class:`~repro.sim.simcore.SimCoreConfig` a scenario describes."""
+    from repro.sim.simcore import SimCoreConfig
+
+    return SimCoreConfig(
+        num_servers=scenario.num_servers, num_keys=scenario.num_keys,
+        cache_items=scenario.cache_items,
+        lookup_entries=scenario.lookup_entries, skew=scenario.skew,
+        write_ratio=scenario.write_ratio, rate=scenario.rate,
+        duration=scenario.duration, hot_threshold=scenario.hot_threshold,
+        stats_interval=scenario.stats_interval, seed=seed,
+        num_clients=scenario.num_clients,
+        client_rates=scenario.client_rates, retries=scenario.retries,
+        layout=scenario.layout, value_size=scenario.value_size,
+        num_value_stages=scenario.num_value_stages)
+
+
+def _race_simcore(config):
+    """Run one scenario under both paths; returns the race quintuple
+    ``(scalar, batched, diffs, batched_elapsed, scalar_elapsed)``."""
+    from repro.sim.simcore import diff_snapshots, run_batched, run_scalar
+
+    wall_start = time.perf_counter()
+    batched = run_batched(config)
+    elapsed = time.perf_counter() - wall_start
+    ref_start = time.perf_counter()
+    scalar = run_scalar(config)
+    ref_elapsed = time.perf_counter() - ref_start
+    return scalar, batched, diff_snapshots(scalar, batched), \
+        elapsed, ref_elapsed
+
+
 def _run_simcore(scenario: PerfScenario, seed: int,
                  metrics_out: Optional[str]) -> Dict:
     """Race the batched lanes engine against the scalar event loop.
@@ -416,29 +480,11 @@ def _run_simcore(scenario: PerfScenario, seed: int,
     The measured speedup lands in ``wall``; the equivalence verdict is a
     gated result.
     """
-    from repro.sim.simcore import (
-        SimCoreConfig, diff_snapshots, run_batched, run_scalar)
-
     if metrics_out:
         raise ConfigurationError(
             "--metrics-out applies only to cluster scenarios")
-    config = SimCoreConfig(
-        num_servers=scenario.num_servers, num_keys=scenario.num_keys,
-        cache_items=scenario.cache_items,
-        lookup_entries=scenario.lookup_entries, skew=scenario.skew,
-        write_ratio=scenario.write_ratio, rate=scenario.rate,
-        duration=scenario.duration, hot_threshold=scenario.hot_threshold,
-        stats_interval=scenario.stats_interval, seed=seed,
-        num_clients=scenario.num_clients,
-        client_rates=scenario.client_rates, retries=scenario.retries)
-
-    wall_start = time.perf_counter()
-    batched = run_batched(config)
-    elapsed = time.perf_counter() - wall_start
-    ref_start = time.perf_counter()
-    scalar = run_scalar(config)
-    ref_elapsed = time.perf_counter() - ref_start
-    diffs = diff_snapshots(scalar, batched)
+    config = _simcore_config(scenario, seed)
+    scalar, batched, diffs, elapsed, ref_elapsed = _race_simcore(config)
 
     total = config.packets
     speedup = ref_elapsed / elapsed if elapsed > 0 else 0.0
@@ -477,6 +523,12 @@ def _run_simcore(scenario: PerfScenario, seed: int,
             "divergences": len(diffs),
             "divergent_fields": diffs[:20],
             "paths_match": not diffs,
+            # Engine-side telemetry: the fraction of packets that ran
+            # under lanes and why the rest scalarized.  A run that
+            # silently scalarizes shows up here (and the georace gate
+            # holds these exactly for the non-paper geometries).
+            "fastpath_coverage": batched.get("fastpath.coverage", 0.0),
+            "fallback_reasons": batched.get("fastpath.fallbacks", {}),
         },
         "wall": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -491,6 +543,79 @@ def _run_simcore(scenario: PerfScenario, seed: int,
                       f"{ref_pps:,.0f} packets/s over {total:,} packets), "
                       f"byte-identical counters "
                       f"{'confirmed' if not diffs else 'VIOLATED'}"),
+        },
+    }
+
+
+# -- the geometry race: non-paper layouts dual-path at full scale -------------------
+
+
+def _run_georace(scenario: PerfScenario, seed: int,
+                 metrics_out: Optional[str]) -> Dict:
+    """Race each :data:`GEORACE_CELLS` geometry dual-path at full scale.
+
+    The tournament sweeps the grid at smoke scale; this scenario takes
+    the headline non-paper cells to the full packet budget, running each
+    one natively under the lanes engine against the scalar event loop.
+    Per layout, the gate holds the replay counters, the empty diff, the
+    exact fast-path coverage, and a zero ``layout`` fallback count — so a
+    change that silently scalarizes a geometry (coverage collapses, the
+    ``layout`` reason reappears) fails ``--compare`` even though the
+    counters still match.  Wall speedups land per layout in ``wall``; the
+    CI race additionally asserts each one stays >= 3x.
+    """
+    if metrics_out:
+        raise ConfigurationError(
+            "--metrics-out applies only to cluster scenarios")
+    results: Dict = {}
+    wall_cells: Dict = {}
+    wall_start = time.perf_counter()
+    for cell in GEORACE_CELLS:
+        cell_scenario = dataclasses.replace(scenario, **cell)
+        config = _simcore_config(cell_scenario, seed)
+        scalar, batched, diffs, elapsed, ref_elapsed = _race_simcore(config)
+        fallbacks = batched.get("fastpath.fallbacks", {})
+        total = config.packets
+        speedup = ref_elapsed / elapsed if elapsed > 0 else 0.0
+        results[cell["layout"]] = {
+            "value_size": cell["value_size"],
+            "num_value_stages": cell["num_value_stages"],
+            "packets": total,
+            "cache_hits": scalar.get("client.cache_hits", 0),
+            "deliveries": scalar["sim.delivered"],
+            "lost": scalar["sim.lost"],
+            "recirculations": scalar.get("layout.recirculations", 0),
+            "trace_digest": scalar["trace.digest"],
+            "divergences": len(diffs),
+            "divergent_fields": diffs[:20],
+            "paths_match": not diffs,
+            "fastpath_coverage": batched.get("fastpath.coverage", 0.0),
+            "layout_fallbacks": fallbacks.get("layout", 0),
+            "fallback_reasons": fallbacks,
+        }
+        wall_cells[cell["layout"]] = {
+            "elapsed_seconds": elapsed,
+            "packets_per_second": total / elapsed if elapsed > 0 else 0.0,
+            "reference_elapsed_seconds": ref_elapsed,
+            "reference_packets_per_second": (total / ref_elapsed
+                                             if ref_elapsed > 0 else 0.0),
+            "speedup_vs_scalar": speedup,
+        }
+    elapsed_all = time.perf_counter() - wall_start
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "scenario": scenario.name,
+        "seed": seed,
+        "config": dataclasses.asdict(scenario),
+        "results": results,
+        "wall": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "elapsed_seconds": elapsed_all,
+            "cells": wall_cells,
+            "python": platform.python_version(),
+            "notes": ", ".join(
+                f"{name} ran {w['speedup_vs_scalar']:.1f}x the scalar loop"
+                for name, w in wall_cells.items()),
         },
     }
 
@@ -559,6 +684,8 @@ def render_snapshot(snapshot: Dict) -> str:
         return _render_simcore(snapshot)
     if isinstance(config, dict) and config.get("kind") == "tournament":
         return _render_tournament(snapshot)
+    if isinstance(config, dict) and config.get("kind") == "georace":
+        return _render_georace(snapshot)
     r = snapshot["results"]
     lines = [
         f"scenario {snapshot['scenario']} seed={snapshot['seed']} "
@@ -635,6 +762,30 @@ def _render_simcore(snapshot: Dict) -> str:
     return "\n".join(lines)
 
 
+def _render_georace(snapshot: Dict) -> str:
+    lines = [f"scenario {snapshot['scenario']} seed={snapshot['seed']}"]
+    wall_cells = snapshot.get("wall", {}).get("cells", {})
+    for layout, r in snapshot["results"].items():
+        w = wall_cells.get(layout, {})
+        lines.extend([
+            f"{layout} (value_size={r['value_size']}, "
+            f"stages={r['num_value_stages']}): {r['packets']:,} packets",
+            f"  batched    : {w.get('packets_per_second', 0.0):,.0f} "
+            f"packets/s, scalar "
+            f"{w.get('reference_packets_per_second', 0.0):,.0f} packets/s "
+            f"-> {w.get('speedup_vs_scalar', 0.0):.1f}x",
+            f"  coverage   : {r['fastpath_coverage']:.3f} fast-path, "
+            f"fallbacks {r['fallback_reasons'] or '{}'}",
+            f"  equivalence: "
+            f"{'byte-identical' if r['paths_match'] else 'DIVERGED'}"
+            f" ({r['divergences']} fields differ, "
+            f"{r['recirculations']:,} recirculations)",
+        ])
+        if r.get("divergent_fields"):
+            lines.extend(f"    {d}" for d in r["divergent_fields"])
+    return "\n".join(lines)
+
+
 def _render_tournament(snapshot: Dict) -> str:
     from repro.tools.tournament import render
 
@@ -703,6 +854,19 @@ TOURNAMENT_GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
 )
 
 
+#: the georace gate holds, per non-paper geometry, the replay counters
+#: AND the engine telemetry: exact coverage and a zero ``layout``
+#: fallback count, so a change that quietly pushes a geometry back onto
+#: the scalar path fails --compare even with matching counters.
+GEORACE_GUARDED_METRICS: Tuple[Tuple[Tuple[str, ...], str], ...] = tuple(
+    (("results", layout, metric), "equal")
+    for layout in ("setassoc", "orbit")
+    for metric in ("packets", "cache_hits", "deliveries", "lost",
+                   "recirculations", "divergences", "paths_match",
+                   "fastpath_coverage", "layout_fallbacks")
+)
+
+
 def _guarded_metrics(snapshot: Dict) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
     """The metric set a snapshot is gated on, by its scenario kind.
 
@@ -717,6 +881,8 @@ def _guarded_metrics(snapshot: Dict) -> Tuple[Tuple[Tuple[str, ...], str], ...]:
         return SIMCORE_GUARDED_METRICS
     if kind == "tournament":
         return TOURNAMENT_GUARDED_METRICS
+    if kind == "georace":
+        return GEORACE_GUARDED_METRICS
     return GUARDED_METRICS
 
 

@@ -61,9 +61,28 @@ UPDATES_PER_INTERVAL = 64
 HOT_THRESHOLD = 8
 SAMPLE_SIZE = 16
 
-CSV_HEADER = ("layout,skew,value_size,write_ratio,hit_ratio,cache_size,"
-              "installs_failed,updates_applied,writes,invalidations,"
-              "auto_evictions,recirculations,sram_used,sram_declared")
+#: the CSV column spec: (name, format) pairs, in emission order.  Header
+#: and rows are both derived from this one tuple so the column order
+#: cannot drift between them, and cells are emitted in sorted-key order
+#: (see :func:`sort_cells`) so the artifact is fully deterministic.
+CSV_COLUMNS = (
+    ("layout", "{}"),
+    ("skew", "{:g}"),
+    ("value_size", "{}"),
+    ("write_ratio", "{:g}"),
+    ("hit_ratio", "{:.6f}"),
+    ("cache_size", "{}"),
+    ("installs_failed", "{}"),
+    ("updates_applied", "{}"),
+    ("writes", "{}"),
+    ("invalidations", "{}"),
+    ("auto_evictions", "{}"),
+    ("recirculations", "{}"),
+    ("sram_used", "{}"),
+    ("sram_declared", "{}"),
+)
+
+CSV_HEADER = ",".join(name for name, _fmt in CSV_COLUMNS)
 
 
 class LayoutLabPolicy(AdmissionPolicy):
@@ -231,6 +250,18 @@ def run_cell(layout_name: str, skew: float, value_size: int,
     }
 
 
+def sort_cells(cells: List[Dict]) -> List[Dict]:
+    """Cells in sorted-key order: (layout, skew, value_size, write_ratio).
+
+    Every consumer — the JSON snapshot, the CSV artifact, the rendered
+    table — sees the same fully deterministic row order regardless of the
+    sweep's loop nesting.  The gated summary aggregates are
+    order-independent, so sorting never perturbs the bench gate.
+    """
+    return sorted(cells, key=lambda c: (c["layout"], c["skew"],
+                                        c["value_size"], c["write_ratio"]))
+
+
 def run_tournament(*, num_keys: int, cache_items: int, lookup_entries: int,
                    value_slots: int, packets: int, seed: int) -> Dict:
     """The full grid; returns ``{"cells": [...], "summary": {...}}``."""
@@ -246,6 +277,7 @@ def run_tournament(*, num_keys: int, cache_items: int, lookup_entries: int,
                         lookup_entries=lookup_entries,
                         value_slots=value_slots, packets=packets,
                         seed=seed))
+    cells = sort_cells(cells)
     return {"cells": cells, "summary": summarize(cells)}
 
 
@@ -281,15 +313,16 @@ def summarize(cells: List[Dict]) -> Dict:
 
 
 def cells_to_csv(cells: List[Dict]) -> str:
-    """The per-cell grid as CSV (the ``--metrics-out`` artifact)."""
+    """The per-cell grid as CSV (the ``--metrics-out`` artifact).
+
+    ``BENCH_geometry.csv`` is regenerated through this exact function, so
+    the committed artifact and a fresh ``--metrics-out`` file can only
+    differ if a cell metric really changed.
+    """
     rows = [CSV_HEADER]
-    for c in cells:
-        rows.append(
-            f"{c['layout']},{c['skew']:g},{c['value_size']},"
-            f"{c['write_ratio']:g},{c['hit_ratio']:.6f},{c['cache_size']},"
-            f"{c['installs_failed']},{c['updates_applied']},{c['writes']},"
-            f"{c['invalidations']},{c['auto_evictions']},"
-            f"{c['recirculations']},{c['sram_used']},{c['sram_declared']}")
+    for c in sort_cells(cells):
+        rows.append(",".join(fmt.format(c[name])
+                             for name, fmt in CSV_COLUMNS))
     return "\n".join(rows) + "\n"
 
 

@@ -2,10 +2,10 @@
 
 Covers the :mod:`repro.core.geometry` contracts directly (registry,
 layouts, admission policies), the data-plane integration (recirculation
-delay, empty-switch guards), the fast-path eligibility rule (non-paper
-layouts scalarize under the named ``layout`` fallback reason while staying
-scalar-equivalent), and the geometry tournament's determinism and
-divergence claims.
+delay, empty-switch guards), the per-layout fast-path eligibility (all
+three layouts run natively under the lanes engine via their vectorized
+batch probes, byte-identical to the scalar loop), and the geometry
+tournament's determinism and divergence claims.
 """
 
 import pytest
@@ -81,10 +81,13 @@ class TestRegistry:
         with pytest.raises(ConfigurationError, match="unknown cache layout"):
             make_layout("cuckoo")
 
-    def test_only_paper_is_fastpath_eligible(self):
+    def test_all_shipped_layouts_are_fastpath_eligible(self):
+        # Eligibility is a per-class opt-in earned by a proven batch
+        # probe; the shipped layouts all have one, while the base class
+        # default keeps unproven third-party layouts on the scalar path.
         assert PaperLayout.fastpath_eligible
-        assert not SetAssocLayout.fastpath_eligible
-        assert not OrbitLayout.fastpath_eligible
+        assert SetAssocLayout.fastpath_eligible
+        assert OrbitLayout.fastpath_eligible
         assert not CacheLayout.fastpath_eligible
 
 
@@ -295,32 +298,41 @@ class TestAdmissionPolicies:
             baselines.LruPolicy(0)
 
 
-class TestLayoutFallback:
-    """Non-paper layouts run scalar under the named ``layout`` reason."""
+class TestLayoutLanes:
+    """Every shipped layout runs natively under lanes, byte-identical."""
 
-    def cfg(self, layout):
-        return SimCoreConfig(num_servers=4, num_keys=300, cache_items=16,
-                             lookup_entries=64, rate=1e5, duration=0.03,
-                             seed=7, layout=layout)
+    def cfg(self, layout, **overrides):
+        params = dict(num_servers=4, num_keys=300, cache_items=16,
+                      lookup_entries=64, rate=1e5, duration=0.03,
+                      seed=7, layout=layout)
+        params.update(overrides)
+        return SimCoreConfig(**params)
 
-    def test_setassoc_scalarizes_but_stays_equivalent(self):
-        cfg = self.cfg("setassoc")
+    def full_coverage(self, cfg):
         cluster, client, workload = build_rack(cfg)
         runner = SimCoreRunner(cluster, client, workload,
                                trace=DeliveryTrace())
         runner.run(cfg.duration)
-        assert runner.engine.fallback_reasons.get("layout", 0) > 0
-        assert runner.engine.coverage() == 0.0
+        assert runner.engine.fallback_reasons.get("layout", 0) == 0
+        assert runner.engine.coverage() == 1.0
+
+    def test_setassoc_runs_native_and_stays_equivalent(self):
+        cfg = self.cfg("setassoc")
+        self.full_coverage(cfg)
         assert diff_snapshots(run_scalar(cfg), run_batched(cfg)) == []
 
+    def test_orbit_multipass_runs_native_and_stays_equivalent(self):
+        # 96B values over 2-stage (32B) segments: every hit takes two
+        # recirculation passes, so the per-record reply-delay lane is
+        # exercised, not just the zero-delay shortcut.
+        cfg = self.cfg("orbit", value_size=96, num_value_stages=2)
+        self.full_coverage(cfg)
+        scalar = run_scalar(cfg)
+        assert scalar["layout.recirculations"] > 0
+        assert diff_snapshots(scalar, run_batched(cfg)) == []
+
     def test_paper_layout_keeps_full_coverage(self):
-        cfg = self.cfg("paper")
-        cluster, client, workload = build_rack(cfg)
-        runner = SimCoreRunner(cluster, client, workload,
-                               trace=DeliveryTrace())
-        runner.run(cfg.duration)
-        assert runner.engine.fallback_reasons == {}
-        assert runner.engine.coverage() == 1.0
+        self.full_coverage(self.cfg("paper"))
 
 
 CELL_PARAMS = dict(num_keys=400, cache_items=16, lookup_entries=64,

@@ -199,3 +199,71 @@ class TestBehavioralSabotage:
         assert diffs, "a lost retransmission chain must not pass the gate"
         fields = {d.split(":")[0] for d in diffs}
         assert "client.retransmissions" in fields, diffs
+
+
+class TestGeometryKernelSabotage:
+    """Defects in the vectorized batch probes must be caught and named.
+
+    Both sabotages live in batch-only code (``_probe`` and
+    ``classify_reads`` are never called by the scalar reference), so a
+    green diff here would mean the harness cannot police the geometry
+    kernels at all.
+    """
+
+    def test_wrong_fingerprint_mask_flags_the_lookup(self, monkeypatch):
+        # The batch probe recomputes the 16-bit fingerprint; masking it
+        # to 8 bits makes almost every cached key probe as a miss, which
+        # must surface in the layout's own lookup counters (and from
+        # there in every downstream traffic field).
+        cfg = tiny(layout="setassoc")
+        scalar = run_scalar(cfg)
+
+        def sabotaged(self, key):
+            h = geometry._set_hash(key)
+            base = (h % self.num_sets) * self.ways
+            fp = (h >> 16) & 0xFF  # wrong: drops the fingerprint's high byte
+            mismatches = 0
+            for way in range(self.ways):
+                idx = base + way
+                if self._fp[idx] != fp:
+                    continue
+                if self._keys[idx] == key:
+                    return idx, mismatches
+                mismatches += 1
+            return -1, mismatches
+
+        monkeypatch.setattr(geometry.SetAssocLayout, "_probe", sabotaged)
+        bad = run_batched(cfg)
+        diffs = diff_snapshots(scalar, bad)
+        assert diffs, "a wrong fingerprint mask must not pass the gate"
+        fields = {d.split(":")[0] for d in diffs}
+        assert "lookup.hits" in fields, diffs
+
+    def test_one_dropped_recirculation_pass_flags_latencies(self,
+                                                            monkeypatch):
+        # Shave one recirculation pass off a single record's reply-delay
+        # lane: that reply lands RECIRCULATION_DELAY early, which the
+        # latency samples (and the timestamped delivery trace) must flag.
+        cfg = tiny(layout="orbit", value_size=96, num_value_stages=2)
+        scalar = run_scalar(cfg)
+        assert scalar["layout.recirculations"] > 0
+        orig = geometry.OrbitLayout.classify_reads
+        armed = {"live": True}
+
+        def sabotaged(self, keys, read_values):
+            hit_mask, hit_indexes, miss_keys, miss_pos, hit_delays = \
+                orig(self, keys, read_values)
+            if armed["live"] and hit_delays is not None and hit_delays.size:
+                pos = np.flatnonzero(hit_delays > 0)
+                if pos.size:
+                    armed["live"] = False
+                    hit_delays[pos[0]] -= geometry.RECIRCULATION_DELAY
+            return hit_mask, hit_indexes, miss_keys, miss_pos, hit_delays
+
+        monkeypatch.setattr(geometry.OrbitLayout, "classify_reads",
+                            sabotaged)
+        bad = run_batched(cfg)
+        diffs = diff_snapshots(scalar, bad)
+        assert diffs, "a dropped recirculation pass must not pass the gate"
+        fields = {d.split(":")[0] for d in diffs}
+        assert any(f.endswith(".latencies") for f in fields), diffs
